@@ -1,0 +1,63 @@
+// Ablation of the heuristic's design choices (DESIGN.md §4):
+//   * layered allocation order (Algorithm 2 step b) vs plain index order,
+//   * the constant average-communication placeholder in allocation vs none,
+//   * greedy per-pair path selection (Algorithm 3) vs freezing path ρ=0.
+// Reports feasibility and energy over a batch of paper-scale instances.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "deploy/evaluate.hpp"
+#include "heuristic/phases.hpp"
+
+using namespace nd;  // NOLINT
+
+int main() {
+  bench::print_header("Ablation", "heuristic variants: layering / comm placeholder / paths");
+  const int seeds = 20;
+  std::printf("paper scale: 4x4 mesh, M=20, L=6, %d seeds, alpha=2.5\n\n", seeds);
+
+  struct Variant {
+    const char* name;
+    heuristic::HeuristicOptions opt;
+  };
+  std::vector<Variant> variants;
+  {
+    heuristic::HeuristicOptions full;
+    variants.push_back({"full (paper)", full});
+    heuristic::HeuristicOptions no_layer = full;
+    no_layer.phase2.layered_sort = false;
+    variants.push_back({"no layered sort", no_layer});
+    heuristic::HeuristicOptions no_comm = full;
+    no_comm.phase2.comm_placeholder = false;
+    variants.push_back({"no comm placeholder", no_comm});
+    heuristic::HeuristicOptions no_paths = full;
+    no_paths.select_paths = false;
+    variants.push_back({"fixed path rho=0", no_paths});
+  }
+
+  Table table({"variant", "feasible", "E_max_avg[J]", "E_total_avg[J]", "phi_avg"});
+  for (const auto& v : variants) {
+    int feas = 0;
+    double e_max = 0.0, e_total = 0.0, phi = 0.0;
+    for (int s = 0; s < seeds; ++s) {
+      bench::Scale sc = bench::paper_scale();
+      sc.alpha = 2.5;
+      sc.seed = 1500 + static_cast<std::uint64_t>(s);
+      auto p = bench::make_instance(sc);
+      const auto res = heuristic::solve_heuristic(*p, v.opt);
+      if (!res.feasible) continue;
+      ++feas;
+      const auto rep = deploy::evaluate_energy(*p, res.solution);
+      e_max += rep.max_proc();
+      e_total += rep.total();
+      phi += rep.phi();
+    }
+    table.add_row({v.name, fmt_i(feas) + "/" + fmt_i(seeds),
+                   feas ? fmt_f(e_max / feas, 3) : "-", feas ? fmt_f(e_total / feas, 3) : "-",
+                   feas ? fmt_f(phi / feas, 3) : "-"});
+  }
+  std::printf("%s\n%s", table.to_ascii().c_str(), table.to_csv("ablation").c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared instance builders for the figure-reproduction benches.
+//
+// Two scales are used (see DESIGN.md, substitutions):
+//  * paper scale  — 4×4 mesh, M = 20, L = 6: heuristic experiments run here.
+//  * reduced scale — 2×2 mesh, M ≈ 4–6, L = 3: experiments that need the
+//    exact MILP optimum run here, because the from-scratch branch-and-bound
+//    replaces Gurobi. Warm starts come from the heuristic.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "deploy/problem.hpp"
+
+namespace nd::bench {
+
+struct Scale {
+  int num_tasks = 20;
+  int rows = 4, cols = 4;
+  int levels = 6;
+  double alpha = 0.8;
+  double r_th = 0.995;
+  double lambda0 = 2e-5;
+  double d = 3.0;
+  double comm_energy_scale = 1.0;  ///< multiplies router+link energy (μ sweeps)
+  double vf_spread = 0.0;          ///< >0: use VfTable::with_spread(levels, spread)
+  std::uint64_t seed = 1;
+};
+
+inline Scale paper_scale() { return Scale{}; }
+
+inline Scale reduced_scale() {
+  Scale s;
+  s.num_tasks = 4;
+  s.rows = 2;
+  s.cols = 2;
+  s.levels = 3;
+  return s;
+}
+
+inline std::unique_ptr<deploy::DeploymentProblem> make_instance(const Scale& sc) {
+  Prng prng(sc.seed);
+  task::GenParams gen;
+  gen.num_tasks = sc.num_tasks;
+  gen.width = std::max(2, sc.num_tasks / 5);
+  task::TaskGraph graph = task::generate_layered(prng, gen);
+
+  noc::MeshParams mesh;
+  mesh.rows = sc.rows;
+  mesh.cols = sc.cols;
+  mesh.seed = sc.seed + 7777;
+  mesh.router_energy_per_byte *= sc.comm_energy_scale;
+  mesh.link_energy_per_byte *= sc.comm_energy_scale;
+
+  dvfs::VfTable vf = (sc.vf_spread > 0.0)
+                         ? dvfs::VfTable::with_spread(sc.levels, sc.vf_spread)
+                         : [&] {
+                             if (sc.levels == 6) return dvfs::VfTable::typical6();
+                             return dvfs::VfTable::with_spread(sc.levels, 1.0);
+                           }();
+
+  auto p = std::make_unique<deploy::DeploymentProblem>(
+      std::move(graph), mesh, std::move(vf),
+      reliability::FaultParams{sc.lambda0, sc.d}, sc.r_th, /*horizon=*/1.0);
+  p->set_horizon(p->horizon_for_alpha(sc.alpha));
+  return p;
+}
+
+inline void print_header(const std::string& fig, const std::string& what) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", fig.c_str(), what.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace nd::bench

@@ -1,0 +1,80 @@
+// Video-analytics pipeline: capture → 4-way slice encode → stitch → analyze
+// → emit, on a 4×4 mesh. Demonstrates the energy knobs the paper studies:
+// the number of available V/F levels L and single- vs multi-path routing.
+//
+//   $ ./examples/video_pipeline
+#include <cstdio>
+#include <vector>
+
+#include "deploy/evaluate.hpp"
+#include "deploy/problem.hpp"
+#include "deploy/validate.hpp"
+#include "heuristic/phases.hpp"
+
+using namespace nd;  // NOLINT
+
+namespace {
+task::TaskGraph build_pipeline() {
+  // Deadlines are ~60% of the execution time at f_min, so the cheapest
+  // feasible level depends on how finely the V/F table is quantized — the
+  // point of the L sweep below.
+  task::TaskGraph g;
+  const int capture = g.add_task(4.0e8, 0.24);
+  std::vector<int> enc;
+  for (int s = 0; s < 4; ++s) enc.push_back(g.add_task(1.1e9, 0.66));
+  const int stitch = g.add_task(5.0e8, 0.30);
+  const int analyze = g.add_task(1.4e9, 0.84);
+  const int overlay = g.add_task(3.0e8, 0.18);
+  const int emit = g.add_task(2.0e8, 0.12);
+  for (const int e : enc) {
+    g.add_edge(capture, e, 2.5e6);  // one slice each
+    g.add_edge(e, stitch, 1.0e6);
+  }
+  g.add_edge(stitch, analyze, 3.0e6);
+  g.add_edge(analyze, overlay, 5.0e5);
+  g.add_edge(stitch, overlay, 8.0e5);
+  g.add_edge(overlay, emit, 1.2e6);
+  return g;
+}
+}  // namespace
+
+int main() {
+  std::printf("video pipeline on 4x4 mesh: energy vs number of V/F levels L\n\n");
+  std::printf("%-4s %-12s %-12s %-10s\n", "L", "E_max[J]", "E_total[J]", "feasible");
+  for (const int levels : {2, 3, 4, 6, 8}) {
+    noc::MeshParams mesh;
+    deploy::DeploymentProblem problem(build_pipeline(), mesh,
+                                      dvfs::VfTable::with_spread(levels, 1.0),
+                                      reliability::FaultParams{2e-5, 3.0}, 0.999, 1.0);
+    problem.set_horizon(problem.horizon_for_alpha(2.0));
+    const auto res = heuristic::solve_heuristic(problem);
+    if (!res.feasible) {
+      std::printf("%-4d %-12s %-12s no (%s)\n", levels, "-", "-", res.why.c_str());
+      continue;
+    }
+    const auto rep = deploy::evaluate_energy(problem, res.solution);
+    std::printf("%-4d %-12.4f %-12.4f yes\n", levels, rep.max_proc(), rep.total());
+  }
+
+  std::printf("\nmulti-path vs fixed-path routing (L=6):\n");
+  for (const bool multi : {true, false}) {
+    noc::MeshParams mesh;
+    deploy::DeploymentProblem problem(build_pipeline(), mesh, dvfs::VfTable::typical6(),
+                                      reliability::FaultParams{2e-5, 3.0}, 0.999, 1.0);
+    problem.set_horizon(problem.horizon_for_alpha(2.0));
+    heuristic::HeuristicOptions opt;
+    opt.select_paths = multi;
+    const auto res = heuristic::solve_heuristic(problem, opt);
+    if (!res.feasible) {
+      std::printf("  %-18s infeasible (%s)\n", multi ? "multi-path" : "fixed rho=0",
+                  res.why.c_str());
+      continue;
+    }
+    const auto rep = deploy::evaluate_energy(problem, res.solution);
+    const auto val = deploy::validate(problem, res.solution);
+    std::printf("  %-18s E_max %.4f J, total %.4f J, %s\n",
+                multi ? "multi-path" : "fixed rho=0", rep.max_proc(), rep.total(),
+                val.ok() ? "valid" : val.summary().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// ND_REQUIRE is for caller-facing precondition violations (throws
+// std::invalid_argument); ND_ASSERT is for internal invariants (throws
+// std::logic_error). Both stay enabled in release builds: this library makes
+// scheduling/reliability claims, and silently wrong answers are worse than a
+// thrown exception.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nd {
+
+namespace detail {
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+[[noreturn]] inline void throw_assert(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace nd
+
+#define ND_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) ::nd::detail::throw_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define ND_ASSERT(expr, msg)                                               \
+  do {                                                                     \
+    if (!(expr)) ::nd::detail::throw_assert(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,70 @@
+// Minimal JSON value type with parser and serializer.
+//
+// Used by the deployment import/export layer (src/deploy/serialize) and the
+// command-line tool; deliberately small: objects preserve insertion order,
+// numbers are doubles, no comments, UTF-8 passed through verbatim with the
+// standard escape set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace nd::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// Order-preserving object (vector of pairs; lookup is linear — fine for the
+/// small documents this library exchanges).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : v_(b) {}                // NOLINT(google-explicit-constructor)
+  Value(double d) : v_(d) {}              // NOLINT(google-explicit-constructor)
+  Value(int i) : v_(static_cast<double>(i)) {}        // NOLINT
+  Value(std::int64_t i) : v_(static_cast<double>(i)) {}  // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}        // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}          // NOLINT
+  Value(Array a) : v_(std::move(a)) {}                // NOLINT
+  Value(Object o) : v_(std::move(o)) {}               // NOLINT
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw std::invalid_argument on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object field lookup; throws if not an object or key missing.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// Object field lookup; returns nullptr when absent.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Serialize; indent < 0 → compact single line.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parse a JSON document; throws std::invalid_argument with position info on
+/// malformed input. Trailing non-whitespace is an error.
+Value parse(const std::string& text);
+
+}  // namespace nd::json

@@ -1,0 +1,71 @@
+#include "common/prng.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nd {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Prng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Prng::uniform() {
+  // 53 random mantissa bits → uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Prng::uniform(double lo, double hi) {
+  ND_REQUIRE(lo <= hi, "uniform range inverted");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Prng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ND_REQUIRE(lo <= hi, "uniform_int range inverted");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Prng::exponential(double rate) {
+  ND_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  // Use 1 - uniform() in (0, 1] so log() never sees zero.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+bool Prng::bernoulli(double p) { return uniform() < p; }
+
+Prng Prng::split() { return Prng((*this)()); }
+
+}  // namespace nd

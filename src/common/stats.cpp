@@ -1,0 +1,46 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nd {
+
+void Stats::add(double x) { values_.push_back(x); }
+
+double Stats::mean() const {
+  ND_REQUIRE(!values_.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (const double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Stats::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Stats::min() const {
+  ND_REQUIRE(!values_.empty(), "min of empty sample");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Stats::max() const {
+  ND_REQUIRE(!values_.empty(), "max of empty sample");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Stats::median() const {
+  ND_REQUIRE(!values_.empty(), "median of empty sample");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+}  // namespace nd

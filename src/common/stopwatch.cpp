@@ -1,0 +1,9 @@
+#include "common/stopwatch.hpp"
+
+namespace nd {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace nd

@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for solver timing (Fig. 2(f)) and time limits.
+#pragma once
+
+#include <chrono>
+
+namespace nd {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Reset the origin to now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last restart.
+  [[nodiscard]] double seconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nd

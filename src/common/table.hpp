@@ -1,0 +1,44 @@
+// ASCII table / CSV emission for benchmark harnesses.
+//
+// Benches print figure series in two forms: a human-readable aligned table and
+// a machine-readable CSV block (prefixed "csv,") so plots can be regenerated
+// by piping bench output through `grep '^csv,'`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nd {
+
+/// Column-aligned table with a header row. Cells are free-form strings;
+/// numeric formatting belongs to the caller (see fmt_* helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row. Must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render as an aligned ASCII table (with a rule under the header).
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Render as CSV lines, each prefixed with "csv," for easy grepping.
+  [[nodiscard]] std::string to_csv(const std::string& tag) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.*f").
+std::string fmt_f(double v, int precision = 3);
+
+/// Scientific formatting ("%.*e").
+std::string fmt_e(double v, int precision = 3);
+
+/// Integer formatting.
+std::string fmt_i(long long v);
+
+}  // namespace nd

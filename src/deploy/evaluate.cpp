@@ -1,0 +1,117 @@
+#include "deploy/evaluate.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace nd::deploy {
+
+double EnergyReport::total() const {
+  double t = 0.0;
+  for (std::size_t k = 0; k < comp.size(); ++k) t += comp[k] + comm[k];
+  return t;
+}
+
+double EnergyReport::max_proc() const {
+  double mx = 0.0;
+  for (std::size_t k = 0; k < comp.size(); ++k) mx = std::max(mx, comp[k] + comm[k]);
+  return mx;
+}
+
+double EnergyReport::phi() const {
+  double mx = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < comp.size(); ++k) {
+    const double e = comp[k] + comm[k];
+    if (e <= 0.0) continue;  // paper: φ over processors with E_k ≠ 0
+    mx = std::max(mx, e);
+    mn = std::min(mn, e);
+  }
+  if (!(mn < std::numeric_limits<double>::infinity()) || mn <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return mx / mn;
+}
+
+namespace {
+bool edge_active(const task::DupEdge& e, const DeploymentSolution& s) {
+  if (!s.exists[static_cast<std::size_t>(e.from)] || !s.exists[static_cast<std::size_t>(e.to)])
+    return false;
+  for (const int g : e.gates) {
+    if (!s.exists[static_cast<std::size_t>(g)]) return false;
+  }
+  return true;
+}
+}  // namespace
+
+EnergyReport evaluate_energy(const DeploymentProblem& p, const DeploymentSolution& s) {
+  const int n = p.num_procs();
+  EnergyReport rep;
+  rep.comp.assign(static_cast<std::size_t>(n), 0.0);
+  rep.comm.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (int i = 0; i < p.num_total_tasks(); ++i) {
+    if (!s.exists[static_cast<std::size_t>(i)]) continue;
+    const int k = s.proc[static_cast<std::size_t>(i)];
+    ND_REQUIRE(k >= 0 && k < n, "existing task without a processor");
+    rep.comp[static_cast<std::size_t>(k)] += comp_energy(p, s, i);
+  }
+  for (const auto& e : p.dup().edges()) {
+    if (!edge_active(e, s)) continue;
+    const int beta = s.proc[static_cast<std::size_t>(e.from)];
+    const int gamma = s.proc[static_cast<std::size_t>(e.to)];
+    if (beta == gamma) continue;  // same-processor communication is free
+    const int rho = s.rho(beta, gamma, n);
+    for (const auto& [node, e_per_byte] : p.mesh().energy_shares(beta, gamma, rho)) {
+      rep.comm[static_cast<std::size_t>(node)] += e.bytes * e_per_byte;
+    }
+  }
+  return rep;
+}
+
+double comp_time(const DeploymentProblem& p, const DeploymentSolution& s, int i) {
+  if (!s.exists[static_cast<std::size_t>(i)]) return 0.0;
+  const int l = s.level[static_cast<std::size_t>(i)];
+  ND_REQUIRE(l >= 0 && l < p.num_levels(), "existing task without a V/F level");
+  return p.vf().exec_time(p.dup().wcec(i), l);
+}
+
+double comp_energy(const DeploymentProblem& p, const DeploymentSolution& s, int i) {
+  if (!s.exists[static_cast<std::size_t>(i)]) return 0.0;
+  const int l = s.level[static_cast<std::size_t>(i)];
+  ND_REQUIRE(l >= 0 && l < p.num_levels(), "existing task without a V/F level");
+  return p.vf().energy(p.dup().wcec(i), l);
+}
+
+double comm_time_into(const DeploymentProblem& p, const DeploymentSolution& s, int i) {
+  if (!s.exists[static_cast<std::size_t>(i)]) return 0.0;
+  double t = 0.0;
+  const int n = p.num_procs();
+  for (const int ei : p.dup().in_edges(i)) {
+    const auto& e = p.dup().edges()[static_cast<std::size_t>(ei)];
+    if (!edge_active(e, s)) continue;
+    const int beta = s.proc[static_cast<std::size_t>(e.from)];
+    const int gamma = s.proc[static_cast<std::size_t>(e.to)];
+    if (beta == gamma) continue;
+    t += e.bytes * p.mesh().time_per_byte(beta, gamma, s.rho(beta, gamma, n));
+  }
+  return t;
+}
+
+double task_reliability(const DeploymentProblem& p, const DeploymentSolution& s, int i) {
+  if (!s.exists[static_cast<std::size_t>(i)]) return 0.0;
+  const int l = s.level[static_cast<std::size_t>(i)];
+  ND_REQUIRE(l >= 0 && l < p.num_levels(), "existing task without a V/F level");
+  return p.fault().task_reliability(p.dup().wcec(i), l);
+}
+
+double effective_reliability(const DeploymentProblem& p, const DeploymentSolution& s, int i) {
+  ND_REQUIRE(i >= 0 && i < p.num_tasks(), "effective reliability is per original task");
+  const double r = task_reliability(p, s, i);
+  const int d = i + p.num_tasks();
+  if (!s.exists[static_cast<std::size_t>(d)]) return r;
+  return reliability::FaultModel::duplicated(r, task_reliability(p, s, d));
+}
+
+}  // namespace nd::deploy

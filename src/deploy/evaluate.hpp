@@ -1,0 +1,49 @@
+// Energy/timing evaluation of a deployment, independent of how it was
+// produced. Implements the objective quantities of the paper:
+//   E_k^comp  = Σ_i x_ik · h_i · (C_i/f_l)·P_l            (computation)
+//   E_k^comm  = Σ_edges s_ij · e_{βγkρ}                   (communication)
+//   BE objective = max_k (E_k^comp + E_k^comm)
+//   ME objective = Σ_k  (E_k^comp + E_k^comm)
+//   φ = max_k E_k^all / min_k E_k^all  over processors with E_k^all ≠ 0
+// plus the per-task input communication time t_i^comm used by (6).
+#pragma once
+
+#include <vector>
+
+#include "deploy/problem.hpp"
+#include "deploy/solution.hpp"
+
+namespace nd::deploy {
+
+struct EnergyReport {
+  std::vector<double> comp;  ///< E_k^comp per processor [J]
+  std::vector<double> comm;  ///< E_k^comm per processor [J]
+
+  [[nodiscard]] double proc_total(int k) const {
+    return comp[static_cast<std::size_t>(k)] + comm[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] double total() const;     ///< ME objective
+  [[nodiscard]] double max_proc() const;  ///< BE objective
+  [[nodiscard]] double phi() const;       ///< balance index (∞ if degenerate)
+};
+
+/// Per-processor energy of a deployment.
+EnergyReport evaluate_energy(const DeploymentProblem& p, const DeploymentSolution& s);
+
+/// Computation time of task i under its assigned level (0 if absent).
+double comp_time(const DeploymentProblem& p, const DeploymentSolution& s, int i);
+
+/// Computation energy of task i under its assigned level (0 if absent).
+double comp_energy(const DeploymentProblem& p, const DeploymentSolution& s, int i);
+
+/// Input communication time t_i^comm of task i: sum over its active in-edges
+/// of bytes · t_{βγρ} for the selected path (same-processor edges are free).
+double comm_time_into(const DeploymentProblem& p, const DeploymentSolution& s, int i);
+
+/// Single-copy reliability r_i of task i at its assigned level.
+double task_reliability(const DeploymentProblem& p, const DeploymentSolution& s, int i);
+
+/// Effective reliability of original task i including its duplicate (eq. r').
+double effective_reliability(const DeploymentProblem& p, const DeploymentSolution& s, int i);
+
+}  // namespace nd::deploy

@@ -1,0 +1,98 @@
+#include "deploy/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "deploy/evaluate.hpp"
+
+namespace nd::deploy {
+
+namespace {
+// Fill colors per processor (cycled); chosen for legibility on white.
+const char* kPalette[] = {"#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+                          "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f"};
+constexpr int kPaletteSize = 12;
+
+bool edge_active(const task::DupEdge& e, const DeploymentSolution& s) {
+  if (!s.exists[static_cast<std::size_t>(e.from)] || !s.exists[static_cast<std::size_t>(e.to)])
+    return false;
+  return std::all_of(e.gates.begin(), e.gates.end(),
+                     [&](int g) { return s.exists[static_cast<std::size_t>(g)] != 0; });
+}
+}  // namespace
+
+std::string graph_to_dot(const task::TaskGraph& g) {
+  std::ostringstream os;
+  os << "digraph tasks {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n";
+  for (int i = 0; i < g.num_tasks(); ++i) {
+    os << "  t" << i << " [label=\"τ" << i << "\\nC=" << g.wcec(i) << "\\nD=" << g.deadline(i)
+       << "s\"];\n";
+  }
+  for (const auto& e : g.edges()) {
+    os << "  t" << e.from << " -> t" << e.to << " [label=\"" << e.bytes << " B\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string deployment_to_dot(const DeploymentProblem& p, const DeploymentSolution& s) {
+  std::ostringstream os;
+  os << "digraph deployment {\n  rankdir=LR;\n  node [shape=box, style=\"rounded,filled\"];\n";
+  for (int i = 0; i < p.num_total_tasks(); ++i) {
+    if (!s.exists[static_cast<std::size_t>(i)]) continue;
+    const int k = s.proc[static_cast<std::size_t>(i)];
+    const int orig = p.dup().original_of(i);
+    os << "  t" << i << " [label=\"τ" << orig << (p.dup().is_duplicate(i) ? "'" : "") << "\\nP"
+       << k << " L" << s.level[static_cast<std::size_t>(i)] << "\\n["
+       << s.start[static_cast<std::size_t>(i)] << ", " << s.end[static_cast<std::size_t>(i)]
+       << "]\"";
+    os << ", fillcolor=\"" << kPalette[k % kPaletteSize] << "\"";
+    if (p.dup().is_duplicate(i)) os << ", style=\"rounded,filled,dashed\"";
+    os << "];\n";
+  }
+  for (const auto& e : p.dup().edges()) {
+    if (!edge_active(e, s)) continue;
+    const int beta = s.proc[static_cast<std::size_t>(e.from)];
+    const int gamma = s.proc[static_cast<std::size_t>(e.to)];
+    os << "  t" << e.from << " -> t" << e.to;
+    if (beta != gamma) {
+      os << " [label=\"ρ=" << s.rho(beta, gamma, p.num_procs()) << "\"]";
+    } else {
+      os << " [style=dotted]";  // co-located: free communication
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string gantt_ascii(const DeploymentProblem& p, const DeploymentSolution& s, int width) {
+  ND_REQUIRE(width >= 10, "gantt needs at least 10 columns");
+  const double h = p.horizon();
+  std::ostringstream os;
+  os << "time 0"
+     << std::string(static_cast<std::size_t>(std::max(0, width - 12)), ' ') << "H=" << h << "\n";
+  for (int k = 0; k < p.num_procs(); ++k) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (int i = 0; i < p.num_total_tasks(); ++i) {
+      if (!s.exists[static_cast<std::size_t>(i)] || s.proc[static_cast<std::size_t>(i)] != k)
+        continue;
+      const auto c0 = static_cast<int>(std::floor(s.start[static_cast<std::size_t>(i)] / h *
+                                                  width));
+      auto c1 = static_cast<int>(std::ceil(s.end[static_cast<std::size_t>(i)] / h * width));
+      c1 = std::min(c1, width);
+      const char glyph = static_cast<char>(
+          (p.dup().original_of(i) % 26) + (p.dup().is_duplicate(i) ? 'a' : 'A'));
+      for (int c = std::max(0, c0); c < c1; ++c) row[static_cast<std::size_t>(c)] = glyph;
+    }
+    char label[16];
+    std::snprintf(label, sizeof label, "P%-3d |", k);
+    os << label << row << "|\n";
+  }
+  os << "(A–Z originals, a–z duplicates, . idle)\n";
+  return os.str();
+}
+
+}  // namespace nd::deploy

@@ -1,0 +1,26 @@
+// Human-facing exports of deployments: Graphviz DOT and an ASCII Gantt chart.
+#pragma once
+
+#include <string>
+
+#include "deploy/problem.hpp"
+#include "deploy/solution.hpp"
+#include "task/task_graph.hpp"
+
+namespace nd::deploy {
+
+/// DOT digraph of a task graph (node label: id, WCEC, deadline; edge label:
+/// payload size).
+std::string graph_to_dot(const task::TaskGraph& g);
+
+/// DOT digraph of a deployment over the duplicated task set: nodes are the
+/// existing tasks colored/clustered by processor, duplicates dashed, edges
+/// the active dependencies annotated with the chosen path.
+std::string deployment_to_dot(const DeploymentProblem& p, const DeploymentSolution& s);
+
+/// Fixed-width ASCII Gantt chart of the schedule, one row per processor.
+/// `width` columns cover [0, horizon].
+std::string gantt_ascii(const DeploymentProblem& p, const DeploymentSolution& s,
+                        int width = 72);
+
+}  // namespace nd::deploy

@@ -1,0 +1,73 @@
+#include "deploy/problem.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace nd::deploy {
+
+DeploymentProblem::DeploymentProblem(task::TaskGraph graph, noc::MeshParams mesh_params,
+                                     dvfs::VfTable vf, reliability::FaultParams fault_params,
+                                     double r_th, double horizon)
+    : graph_(std::move(graph)),
+      vf_(std::move(vf)),
+      mesh_(mesh_params),
+      dup_(graph_),
+      fault_(fault_params, vf_),
+      r_th_(r_th),
+      horizon_(horizon) {
+  ND_REQUIRE(r_th_ > 0.0 && r_th_ < 1.0, "R_th must be in (0, 1)");
+  ND_REQUIRE(horizon_ > 0.0, "horizon must be positive");
+}
+
+void DeploymentProblem::set_horizon(double h) {
+  ND_REQUIRE(h > 0.0, "horizon must be positive");
+  horizon_ = h;
+}
+
+double DeploymentProblem::horizon_for_alpha(double alpha) const {
+  ND_REQUIRE(alpha > 0.0, "alpha must be positive");
+  const int m = graph_.num_tasks();
+  // Mid-range computation time per task.
+  std::vector<double> t_avg(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const double tmax = vf_.exec_time(graph_.wcec(i), 0);
+    const double tmin = vf_.exec_time(graph_.wcec(i), vf_.num_levels() - 1);
+    t_avg[static_cast<std::size_t>(i)] = 0.5 * (tmax + tmin);
+  }
+  const double t_mid_per_byte = 0.5 * (mesh_.max_time_per_byte() + mesh_.min_time_per_byte());
+  double sum = 0.0;
+  for (const int i : graph_.critical_path(t_avg, 0.0)) {
+    sum += t_avg[static_cast<std::size_t>(i)];
+    double in_bytes = 0.0;
+    for (const int p : graph_.predecessors(i)) in_bytes += graph_.bytes(p, i);
+    sum += in_bytes * t_mid_per_byte;
+  }
+  return alpha * sum;
+}
+
+double DeploymentProblem::mu_index() const {
+  double mean_bytes = 0.0;
+  if (!graph_.edges().empty()) {
+    for (const auto& e : graph_.edges()) mean_bytes += e.bytes;
+    mean_bytes /= static_cast<double>(graph_.edges().size());
+  }
+  const double e_comm = mesh_.max_energy_share() * mean_bytes;
+  double e_comp = 0.0;
+  for (int i = 0; i < graph_.num_tasks(); ++i)
+    for (int l = 0; l < vf_.num_levels(); ++l)
+      e_comp = std::max(e_comp, vf_.energy(graph_.wcec(i), l));
+  return (e_comp > 0.0) ? e_comm / e_comp : 0.0;
+}
+
+std::unique_ptr<DeploymentProblem> make_random_instance(const InstanceParams& params) {
+  Prng prng(params.seed);
+  task::TaskGraph g = task::generate_layered(prng, params.gen);
+  auto problem = std::make_unique<DeploymentProblem>(std::move(g), params.mesh,
+                                                     dvfs::VfTable::typical6(), params.fault,
+                                                     params.r_th, /*horizon=*/1.0);
+  problem->set_horizon(problem->horizon_for_alpha(params.alpha));
+  return problem;
+}
+
+}  // namespace nd::deploy

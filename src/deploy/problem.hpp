@@ -1,0 +1,83 @@
+// DeploymentProblem: one instance of the paper's task-deployment problem —
+// the task graph, the NoC platform, the DVFS table, the fault model, the
+// reliability threshold R_th and the scheduling horizon H.
+//
+// The object is immovable because derived members (DuplicatedTaskSet,
+// FaultModel) hold references into sibling members; construct it in place or
+// behind a unique_ptr.
+#pragma once
+
+#include <memory>
+
+#include "dvfs/vf_table.hpp"
+#include "noc/mesh.hpp"
+#include "reliability/fault_model.hpp"
+#include "task/duplication.hpp"
+#include "task/generator.hpp"
+#include "task/task_graph.hpp"
+
+namespace nd::deploy {
+
+class DeploymentProblem {
+ public:
+  DeploymentProblem(task::TaskGraph graph, noc::MeshParams mesh_params, dvfs::VfTable vf,
+                    reliability::FaultParams fault_params, double r_th, double horizon);
+
+  DeploymentProblem(const DeploymentProblem&) = delete;
+  DeploymentProblem& operator=(const DeploymentProblem&) = delete;
+
+  [[nodiscard]] const task::TaskGraph& graph() const { return graph_; }
+  [[nodiscard]] const task::DuplicatedTaskSet& dup() const { return dup_; }
+  [[nodiscard]] const noc::Mesh& mesh() const { return mesh_; }
+  [[nodiscard]] const dvfs::VfTable& vf() const { return vf_; }
+  [[nodiscard]] const reliability::FaultModel& fault() const { return fault_; }
+
+  [[nodiscard]] double r_th() const { return r_th_; }
+  [[nodiscard]] double horizon() const { return horizon_; }
+  void set_horizon(double h);
+
+  [[nodiscard]] int num_tasks() const { return graph_.num_tasks(); }       ///< M
+  [[nodiscard]] int num_total_tasks() const { return dup_.num_total(); }   ///< 2M
+  [[nodiscard]] int num_procs() const { return mesh_.num_procs(); }        ///< N
+  [[nodiscard]] int num_levels() const { return vf_.num_levels(); }        ///< L
+
+  /// Horizon rule of the evaluation (§IV):
+  ///   H = α · Σ_{i ∈ critical path} (t_i,avg^comp + t_i,avg^comm)
+  /// with t_avg^comp = (max_l C_i/f_l + min_l C_i/f_l)/2 and t_avg^comm the
+  /// predecessor data volume times the mid-range per-byte path latency.
+  /// (The paper's t_avg^comp formula multiplies by P_l — an energy, i.e. a
+  /// units typo; we use the time version. See EXPERIMENTS.md.)
+  [[nodiscard]] double horizon_for_alpha(double alpha) const;
+
+  /// μ index of Fig. 2(b): max communication energy per byte over max
+  /// per-cycle... precisely e_k^comm / e_k^comp with
+  /// e^comm = max_{βγkρ} e_βγkρ · (mean edge bytes) and
+  /// e^comp = max_{i,l} (C_i/f_l)·P_l.
+  [[nodiscard]] double mu_index() const;
+
+ private:
+  task::TaskGraph graph_;
+  dvfs::VfTable vf_;
+  noc::Mesh mesh_;
+  task::DuplicatedTaskSet dup_;       // references graph_
+  reliability::FaultModel fault_;     // references vf_
+  double r_th_;
+  double horizon_;
+};
+
+/// Everything needed to build a random experiment instance; used by benches
+/// and tests. `alpha` feeds the horizon rule.
+struct InstanceParams {
+  task::GenParams gen;
+  noc::MeshParams mesh;
+  reliability::FaultParams fault;
+  double r_th = 0.995;
+  double alpha = 0.8;
+  std::uint64_t seed = 1;
+};
+
+/// Build a problem with a random task graph, the typical 6-level V/F table
+/// and the horizon rule applied.
+std::unique_ptr<DeploymentProblem> make_random_instance(const InstanceParams& params);
+
+}  // namespace nd::deploy

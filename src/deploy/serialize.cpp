@@ -1,0 +1,159 @@
+#include "deploy/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace nd::deploy {
+
+using json::Array;
+using json::Object;
+using json::Value;
+
+json::Value problem_to_json(const DeploymentProblem& p) {
+  Array tasks;
+  for (int i = 0; i < p.num_tasks(); ++i) {
+    tasks.push_back(Object{{"wcec", Value(static_cast<double>(p.graph().wcec(i)))},
+                           {"deadline", Value(p.graph().deadline(i))}});
+  }
+  Array edges;
+  for (const auto& e : p.graph().edges()) {
+    edges.push_back(Object{{"from", Value(e.from)}, {"to", Value(e.to)}, {"bytes", Value(e.bytes)}});
+  }
+  const noc::MeshParams& mp = p.mesh().params();
+  Object mesh{{"rows", Value(mp.rows)},
+              {"cols", Value(mp.cols)},
+              {"router_energy_per_byte", Value(mp.router_energy_per_byte)},
+              {"link_energy_per_byte", Value(mp.link_energy_per_byte)},
+              {"link_latency_per_byte", Value(mp.link_latency_per_byte)},
+              {"variation", Value(mp.variation)},
+              {"seed", Value(static_cast<double>(mp.seed))},
+              {"policy", Value(mp.policy == noc::PathPolicy::kXyYx ? "xyyx" : "dijkstra")}};
+  Array levels;
+  for (int l = 0; l < p.num_levels(); ++l) {
+    levels.push_back(Object{{"voltage", Value(p.vf().level(l).voltage)},
+                            {"freq", Value(p.vf().level(l).freq)}});
+  }
+  const dvfs::PowerParams& pw = p.vf().params();
+  Object power{{"ce", Value(pw.ce)},   {"lg", Value(pw.lg)},     {"k1", Value(pw.k1)},
+               {"k2", Value(pw.k2)},   {"k3", Value(pw.k3)},     {"v_bb", Value(pw.v_bb)},
+               {"i_b", Value(pw.i_b)}};
+  Object fault{{"lambda0", Value(p.fault().params().lambda0)},
+               {"d", Value(p.fault().params().d)}};
+  return Object{{"tasks", Value(std::move(tasks))},
+                {"edges", Value(std::move(edges))},
+                {"mesh", Value(std::move(mesh))},
+                {"vf_levels", Value(std::move(levels))},
+                {"power", Value(std::move(power))},
+                {"fault", Value(std::move(fault))},
+                {"r_th", Value(p.r_th())},
+                {"horizon", Value(p.horizon())}};
+}
+
+std::unique_ptr<DeploymentProblem> problem_from_json(const json::Value& v) {
+  task::TaskGraph g;
+  for (const auto& t : v.at("tasks").as_array()) {
+    g.add_task(static_cast<std::uint64_t>(t.at("wcec").as_number()),
+               t.at("deadline").as_number());
+  }
+  for (const auto& e : v.at("edges").as_array()) {
+    g.add_edge(static_cast<int>(e.at("from").as_number()),
+               static_cast<int>(e.at("to").as_number()), e.at("bytes").as_number());
+  }
+  const Value& m = v.at("mesh");
+  noc::MeshParams mp;
+  mp.rows = static_cast<int>(m.at("rows").as_number());
+  mp.cols = static_cast<int>(m.at("cols").as_number());
+  mp.router_energy_per_byte = m.at("router_energy_per_byte").as_number();
+  mp.link_energy_per_byte = m.at("link_energy_per_byte").as_number();
+  mp.link_latency_per_byte = m.at("link_latency_per_byte").as_number();
+  mp.variation = m.at("variation").as_number();
+  mp.seed = static_cast<std::uint64_t>(m.at("seed").as_number());
+  if (const json::Value* pol = m.find("policy"); pol != nullptr) {
+    mp.policy = (pol->as_string() == "xyyx") ? noc::PathPolicy::kXyYx
+                                             : noc::PathPolicy::kDijkstra;
+  }
+
+  std::vector<dvfs::VfLevel> levels;
+  for (const auto& l : v.at("vf_levels").as_array()) {
+    levels.push_back({l.at("voltage").as_number(), l.at("freq").as_number()});
+  }
+  dvfs::PowerParams pw;
+  const Value& pj = v.at("power");
+  pw.ce = pj.at("ce").as_number();
+  pw.lg = pj.at("lg").as_number();
+  pw.k1 = pj.at("k1").as_number();
+  pw.k2 = pj.at("k2").as_number();
+  pw.k3 = pj.at("k3").as_number();
+  pw.v_bb = pj.at("v_bb").as_number();
+  pw.i_b = pj.at("i_b").as_number();
+
+  reliability::FaultParams fp;
+  fp.lambda0 = v.at("fault").at("lambda0").as_number();
+  fp.d = v.at("fault").at("d").as_number();
+
+  return std::make_unique<DeploymentProblem>(std::move(g), mp,
+                                             dvfs::VfTable(std::move(levels), pw), fp,
+                                             v.at("r_th").as_number(),
+                                             v.at("horizon").as_number());
+}
+
+json::Value solution_to_json(const DeploymentSolution& s) {
+  auto ints = [](const auto& vec) {
+    Array a;
+    for (const auto x : vec) a.push_back(Value(static_cast<double>(x)));
+    return Value(std::move(a));
+  };
+  Array start, end;
+  for (const double t : s.start) start.push_back(Value(t));
+  for (const double t : s.end) end.push_back(Value(t));
+  return Object{{"exists", ints(s.exists)},     {"level", ints(s.level)},
+                {"proc", ints(s.proc)},         {"start", Value(std::move(start))},
+                {"end", Value(std::move(end))}, {"path_choice", ints(s.path_choice)}};
+}
+
+DeploymentSolution solution_from_json(const json::Value& v, const DeploymentProblem& p) {
+  DeploymentSolution s = DeploymentSolution::empty(p);
+  const auto total = static_cast<std::size_t>(p.num_total_tasks());
+  auto load = [&](const char* key, std::size_t expected) -> const Array& {
+    const Array& a = v.at(key).as_array();
+    ND_REQUIRE(a.size() == expected, std::string(key) + " arity mismatch");
+    return a;
+  };
+  const Array& exists = load("exists", total);
+  const Array& level = load("level", total);
+  const Array& proc = load("proc", total);
+  const Array& start = load("start", total);
+  const Array& end = load("end", total);
+  const Array& paths = load("path_choice", static_cast<std::size_t>(p.num_procs()) * p.num_procs());
+  for (std::size_t i = 0; i < total; ++i) {
+    s.exists[i] = exists[i].as_number() != 0.0 ? 1 : 0;
+    s.level[i] = static_cast<int>(level[i].as_number());
+    s.proc[i] = static_cast<int>(proc[i].as_number());
+    s.start[i] = start[i].as_number();
+    s.end[i] = end[i].as_number();
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    s.path_choice[i] = static_cast<int>(paths[i].as_number());
+  }
+  return s;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << content;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace nd::deploy

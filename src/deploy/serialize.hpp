@@ -1,0 +1,36 @@
+// JSON import/export of deployment problems and solutions.
+//
+// Enables persisting experiment instances, driving the solver from the
+// command-line tool (tools/nocdeploy_cli) and interchanging deployments with
+// external tooling. The schema is documented field-by-field in
+// problem_to_json(); round-tripping is exact up to floating-point printing
+// (17 significant digits).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/json.hpp"
+#include "deploy/problem.hpp"
+#include "deploy/solution.hpp"
+
+namespace nd::deploy {
+
+/// Full problem → JSON (tasks, edges, mesh, V/F table, power & fault
+/// parameters, R_th, horizon).
+json::Value problem_to_json(const DeploymentProblem& p);
+
+/// JSON → problem. Throws std::invalid_argument on schema violations.
+std::unique_ptr<DeploymentProblem> problem_from_json(const json::Value& v);
+
+/// Deployment decisions → JSON.
+json::Value solution_to_json(const DeploymentSolution& s);
+
+/// JSON → deployment; validated for arity against the problem.
+DeploymentSolution solution_from_json(const json::Value& v, const DeploymentProblem& p);
+
+/// File helpers (throw std::runtime_error on I/O failure).
+std::string read_file(const std::string& path);
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace nd::deploy

@@ -1,0 +1,37 @@
+#include "deploy/solution.hpp"
+
+#include <algorithm>
+
+#include "deploy/problem.hpp"
+
+namespace nd::deploy {
+
+DeploymentSolution DeploymentSolution::empty(const DeploymentProblem& p) {
+  DeploymentSolution s;
+  const auto total = static_cast<std::size_t>(p.num_total_tasks());
+  s.exists.assign(total, 0);
+  for (int i = 0; i < p.num_tasks(); ++i) s.exists[static_cast<std::size_t>(i)] = 1;
+  s.level.assign(total, -1);
+  s.proc.assign(total, -1);
+  s.start.assign(total, 0.0);
+  s.end.assign(total, 0.0);
+  s.path_choice.assign(static_cast<std::size_t>(p.num_procs()) * p.num_procs(), 0);
+  return s;
+}
+
+int DeploymentSolution::num_duplicates(int num_original) const {
+  int n = 0;
+  for (std::size_t i = static_cast<std::size_t>(num_original); i < exists.size(); ++i)
+    n += exists[i] ? 1 : 0;
+  return n;
+}
+
+int DeploymentSolution::max_tasks_per_proc(int num_procs) const {
+  std::vector<int> count(static_cast<std::size_t>(num_procs), 0);
+  for (std::size_t i = 0; i < exists.size(); ++i) {
+    if (exists[i] && proc[i] >= 0) ++count[static_cast<std::size_t>(proc[i])];
+  }
+  return count.empty() ? 0 : *std::max_element(count.begin(), count.end());
+}
+
+}  // namespace nd::deploy

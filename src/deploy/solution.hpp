@@ -1,0 +1,41 @@
+// DeploymentSolution: the five decisions of the paper in decoded form —
+// frequency assignment y, duplication h, allocation x, schedule (t^s, t^e)
+// and path selection c. Produced by both the MILP decoder and the heuristic;
+// consumed by the evaluator, the validator and the discrete-event simulator.
+#pragma once
+
+#include <vector>
+
+namespace nd::deploy {
+
+class DeploymentProblem;
+
+struct DeploymentSolution {
+  /// h_i for the 2M tasks (originals always 1).
+  std::vector<char> exists;
+  /// V/F level per task (index into the VfTable); -1 for absent tasks.
+  std::vector<int> level;
+  /// Processor per task; -1 for absent tasks.
+  std::vector<int> proc;
+  /// Start/end times per task [s]; 0 for absent tasks.
+  std::vector<double> start, end;
+  /// Path choice ρ ∈ {0,1} per ordered processor pair (β·N + γ); the
+  /// diagonal entries are unused.
+  std::vector<int> path_choice;
+
+  /// Initialize with 2M absent-free defaults: originals exist, nothing
+  /// placed, all paths 0.
+  static DeploymentSolution empty(const DeploymentProblem& p);
+
+  [[nodiscard]] int rho(int beta, int gamma, int num_procs) const {
+    return path_choice[static_cast<std::size_t>(beta * num_procs + gamma)];
+  }
+
+  /// Number of duplicated tasks that exist (M_d of Fig. 2(c)).
+  [[nodiscard]] int num_duplicates(int num_original) const;
+
+  /// Max number of tasks on one processor (M_max of Fig. 2(b)).
+  [[nodiscard]] int max_tasks_per_proc(int num_procs) const;
+};
+
+}  // namespace nd::deploy

@@ -1,0 +1,42 @@
+// Independent constraint checker for deployments.
+//
+// Re-derives every constraint of the paper's formulation from raw problem
+// data — deliberately sharing no code with the MILP builder or the heuristic
+// so that a bug in either cannot hide. Checks:
+//   (1) allocation: every existing task on exactly one valid processor
+//   (3) frequency: every existing task has exactly one valid V/F level
+//   (4) duplication trigger: copy exists iff single-copy reliability < R_th
+//   (5) reliability: effective reliability ≥ R_th for every original task
+//   (6) precedence: t_j^s ≥ t_i^e + t_j^comm over active edges
+//   (7) non-overlap: co-located tasks never execute simultaneously
+//   (8) deadline: computation time ≤ D_i
+//   (9) horizon: 0 ≤ t^s ≤ t^e ≤ H, t^e = t^s + t^comp
+//   (2) path choice: ρ ∈ {0, 1} for every used processor pair
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "deploy/problem.hpp"
+#include "deploy/solution.hpp"
+
+namespace nd::deploy {
+
+struct ValidationOptions {
+  double tol = 1e-7;  ///< absolute slack on time comparisons [s]
+  double rel_tol = 1e-9;
+  /// When false, constraint (4) is relaxed to one direction: a copy MUST
+  /// exist when reliability is short, but extra copies are tolerated.
+  bool enforce_duplication_equivalence = true;
+};
+
+struct ValidationResult {
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+ValidationResult validate(const DeploymentProblem& p, const DeploymentSolution& s,
+                          const ValidationOptions& opt = {});
+
+}  // namespace nd::deploy

@@ -1,0 +1,82 @@
+#include "dvfs/vf_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nd::dvfs {
+
+VfTable::VfTable(std::vector<VfLevel> levels, PowerParams params)
+    : levels_(std::move(levels)), params_(params) {
+  ND_REQUIRE(!levels_.empty(), "VfTable needs at least one level");
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    ND_REQUIRE(levels_[l].voltage > 0.0, "voltage must be positive");
+    ND_REQUIRE(levels_[l].freq > 0.0, "frequency must be positive");
+    if (l > 0) {
+      ND_REQUIRE(levels_[l].freq > levels_[l - 1].freq,
+                 "levels must be strictly increasing in frequency");
+    }
+  }
+}
+
+VfTable VfTable::typical6() {
+  return VfTable({{0.70, 1.0e9},
+                  {0.80, 1.4e9},
+                  {0.90, 1.8e9},
+                  {1.00, 2.2e9},
+                  {1.10, 2.6e9},
+                  {1.20, 3.0e9}});
+}
+
+VfTable VfTable::with_spread(int num_levels, double voltage_spread) {
+  ND_REQUIRE(num_levels >= 2, "need at least two levels");
+  ND_REQUIRE(voltage_spread > 0.0, "spread must be positive");
+  std::vector<VfLevel> levels(static_cast<std::size_t>(num_levels));
+  const double v_mid = 0.95;
+  const double base_half = 0.25;  // typical6 spans 0.70..1.20 around 0.95
+  for (int l = 0; l < num_levels; ++l) {
+    const double t = (num_levels == 1) ? 0.5
+                                       : static_cast<double>(l) / (num_levels - 1);
+    const double v = v_mid + (t - 0.5) * 2.0 * base_half * voltage_spread;
+    const double f = 1.0e9 + t * 2.0e9;
+    levels[static_cast<std::size_t>(l)] = {std::max(0.2, v), f};
+  }
+  return VfTable(std::move(levels));
+}
+
+double VfTable::static_power(double voltage) const {
+  const PowerParams& p = params_;
+  return p.lg * (voltage * p.k1 * std::exp(p.k2 * voltage) * std::exp(p.k3 * p.v_bb) +
+                 std::abs(p.v_bb) * p.i_b);
+}
+
+double VfTable::dynamic_power(double voltage, double freq) const {
+  return params_.ce * voltage * voltage * freq;
+}
+
+double VfTable::power(int l) const {
+  const VfLevel& vf = level(l);
+  return static_power(vf.voltage) + dynamic_power(vf.voltage, vf.freq);
+}
+
+double VfTable::exec_time(std::uint64_t cycles, int l) const {
+  return static_cast<double>(cycles) / level(l).freq;
+}
+
+double VfTable::energy(std::uint64_t cycles, int l) const {
+  return power(l) * exec_time(cycles, l);
+}
+
+double VfTable::energy_gap_eps() const {
+  double mn = power(0) / level(0).freq;
+  double mx = mn;
+  for (int l = 1; l < num_levels(); ++l) {
+    const double epc = power(l) / level(l).freq;  // energy per cycle
+    mn = std::min(mn, epc);
+    mx = std::max(mx, epc);
+  }
+  return mx / mn;
+}
+
+}  // namespace nd::dvfs

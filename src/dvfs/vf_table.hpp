@@ -1,0 +1,76 @@
+// DVFS voltage/frequency table and the processor power model of the paper
+// (§II-A.2):
+//   P(v,f)   = P_s + P_d
+//   P_s      = Lg · (v·K1·e^{K2·v}·e^{K3·v_b} + |v_b|·I_b)     (static/leakage)
+//   P_d      = Ce · v² · f                                      (dynamic)
+//
+// Units: volts, hertz, watts, joules, seconds, cycles. All processors share
+// the same ISA and the same table (homogeneous platform, as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nd::dvfs {
+
+/// One voltage/frequency operating point.
+struct VfLevel {
+  double voltage;  ///< supply voltage [V]
+  double freq;     ///< clock frequency [Hz]
+};
+
+/// Technology parameters of the power model. Defaults are 70 nm-class values
+/// in the style of the literature the paper builds on (Martin et al.); the
+/// paper itself inherits its calibration from its ref. [3] (see DESIGN.md).
+struct PowerParams {
+  double ce = 1.0e-9;    ///< average switched capacitance [F]
+  double lg = 4.0e6;     ///< number of logic gates
+  double k1 = 2.2e-7;    ///< leakage scale [A/V-ish fit constant]
+  double k2 = 1.83;      ///< leakage voltage exponent [1/V]
+  double k3 = 4.19;      ///< body-bias exponent [1/V]
+  double v_bb = -0.7;    ///< body-bias voltage [V]
+  double i_b = 4.8e-10;  ///< body junction leakage current [A]
+};
+
+class VfTable {
+ public:
+  /// Levels must be non-empty, strictly increasing in frequency, with
+  /// positive voltages.
+  VfTable(std::vector<VfLevel> levels, PowerParams params = {});
+
+  /// The default 6-level table used throughout the evaluation (L = 6).
+  static VfTable typical6();
+
+  /// A table with `num_levels` points whose voltage span is stretched by
+  /// `voltage_spread` around the mid voltage — used to sweep the energy-gap
+  /// index ε of Fig. 2(c). spread 1.0 reproduces typical6-like spacing.
+  static VfTable with_spread(int num_levels, double voltage_spread);
+
+  [[nodiscard]] int num_levels() const { return static_cast<int>(levels_.size()); }
+  [[nodiscard]] const VfLevel& level(int l) const { return levels_[static_cast<std::size_t>(l)]; }
+  [[nodiscard]] const PowerParams& params() const { return params_; }
+
+  [[nodiscard]] double f_min() const { return levels_.front().freq; }
+  [[nodiscard]] double f_max() const { return levels_.back().freq; }
+
+  /// Static (leakage) power at a voltage [W].
+  [[nodiscard]] double static_power(double voltage) const;
+  /// Dynamic power at an operating point [W].
+  [[nodiscard]] double dynamic_power(double voltage, double freq) const;
+  /// Total power of level l [W].
+  [[nodiscard]] double power(int l) const;
+
+  /// Execution time of `cycles` at level l [s].
+  [[nodiscard]] double exec_time(std::uint64_t cycles, int l) const;
+  /// Computation energy of `cycles` at level l [J].
+  [[nodiscard]] double energy(std::uint64_t cycles, int l) const;
+
+  /// Energy-gap index ε = max_l(P_l/f_l) / min_l(P_l/f_l)  (Fig. 2(c)).
+  [[nodiscard]] double energy_gap_eps() const;
+
+ private:
+  std::vector<VfLevel> levels_;
+  PowerParams params_;
+};
+
+}  // namespace nd::dvfs

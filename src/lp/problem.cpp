@@ -1,0 +1,90 @@
+#include "lp/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace nd::lp {
+
+int Problem::add_var(double lo, double hi, double obj, std::string name) {
+  ND_REQUIRE(lo <= hi, "variable bounds inverted");
+  ND_REQUIRE(std::isfinite(lo) || std::isfinite(hi), "fully free variables unsupported");
+  ND_REQUIRE(std::isfinite(obj), "objective coefficient must be finite");
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  obj_.push_back(obj);
+  if (name.empty()) name = "x" + std::to_string(lo_.size() - 1);
+  names_.push_back(std::move(name));
+  return static_cast<int>(lo_.size()) - 1;
+}
+
+void Problem::add_row(Row row) {
+  ND_REQUIRE(std::isfinite(row.rhs), "row rhs must be finite");
+  // Merge duplicate indices and validate ranges.
+  std::sort(row.coef.begin(), row.coef.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<int, double>> merged;
+  merged.reserve(row.coef.size());
+  for (const auto& [j, v] : row.coef) {
+    ND_REQUIRE(j >= 0 && j < num_vars(), "row references unknown variable");
+    ND_REQUIRE(std::isfinite(v), "row coefficient must be finite");
+    if (!merged.empty() && merged.back().first == j) {
+      merged.back().second += v;
+    } else {
+      merged.emplace_back(j, v);
+    }
+  }
+  row.coef = std::move(merged);
+  rows_.push_back(std::move(row));
+}
+
+void Problem::add_row(const std::vector<std::pair<int, double>>& coef, Sense sense, double rhs) {
+  add_row(Row{coef, sense, rhs});
+}
+
+double Problem::objective_value(const std::vector<double>& x) const {
+  ND_REQUIRE(x.size() == lo_.size(), "point arity mismatch");
+  double v = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) v += obj_[j] * x[j];
+  return v;
+}
+
+bool Problem::is_feasible(const std::vector<double>& x, double tol, std::string* why) const {
+  ND_REQUIRE(x.size() == lo_.size(), "point arity mismatch");
+  auto fail = [&](const std::string& s) {
+    if (why != nullptr) *why = s;
+    return false;
+  };
+  for (int j = 0; j < num_vars(); ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    if (x[ju] < lo_[ju] - tol || x[ju] > hi_[ju] + tol) {
+      std::ostringstream os;
+      os << names_[ju] << " = " << x[ju] << " outside [" << lo_[ju] << ", " << hi_[ju] << "]";
+      return fail(os.str());
+    }
+  }
+  for (int r = 0; r < num_rows(); ++r) {
+    const Row& row = rows_[static_cast<std::size_t>(r)];
+    double lhs = 0.0;
+    double scale = std::abs(row.rhs);
+    for (const auto& [j, v] : row.coef) {
+      lhs += v * x[static_cast<std::size_t>(j)];
+      scale = std::max(scale, std::abs(v));
+    }
+    const double eps = tol * std::max(1.0, scale);
+    const bool ok = (row.sense == Sense::LE && lhs <= row.rhs + eps) ||
+                    (row.sense == Sense::GE && lhs >= row.rhs - eps) ||
+                    (row.sense == Sense::EQ && std::abs(lhs - row.rhs) <= eps);
+    if (!ok) {
+      std::ostringstream os;
+      os << "row " << r << ": lhs " << lhs << " violates rhs " << row.rhs;
+      return fail(os.str());
+    }
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+}  // namespace nd::lp

@@ -1,0 +1,67 @@
+// Linear-program container: minimize cᵀx subject to row bounds and variable
+// bounds. This is the input format shared by the simplex engine (src/lp) and
+// the branch-and-bound MILP solver (src/milp).
+//
+// Conventions:
+//  * objective sense is always MINIMIZE,
+//  * every variable must have a finite lower OR upper bound (no fully free
+//    variables — the deployment models never need them),
+//  * rows are sparse (index/coefficient pairs) with a sense and rhs.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nd::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { LE, GE, EQ };
+
+/// One sparse constraint row: sum(coef_i * x_i) <sense> rhs.
+struct Row {
+  std::vector<std::pair<int, double>> coef;
+  Sense sense = Sense::LE;
+  double rhs = 0.0;
+};
+
+class Problem {
+ public:
+  /// Add a variable; returns its index. `lo <= hi` required, at least one
+  /// bound finite. `name` is used only in diagnostics.
+  int add_var(double lo, double hi, double obj, std::string name = {});
+
+  /// Add a constraint row; coefficients with out-of-range indices are
+  /// rejected. Duplicate indices within a row are summed.
+  void add_row(Row row);
+
+  /// Convenience: add `expr <sense> rhs` from parallel index/value arrays.
+  void add_row(const std::vector<std::pair<int, double>>& coef, Sense sense, double rhs);
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(lo_.size()); }
+  [[nodiscard]] int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  [[nodiscard]] double lo(int j) const { return lo_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double hi(int j) const { return hi_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double obj(int j) const { return obj_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] const std::string& name(int j) const { return names_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] const Row& row(int r) const { return rows_[static_cast<std::size_t>(r)]; }
+
+  /// Evaluate the objective at a point.
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// Check primal feasibility of a point within `tol` (absolute, with a
+  /// relative term for large rhs). Returns true and leaves `why` empty on
+  /// success; otherwise describes the first violation.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x, double tol,
+                                 std::string* why = nullptr) const;
+
+ private:
+  std::vector<double> lo_, hi_, obj_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace nd::lp

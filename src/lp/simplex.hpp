@@ -1,0 +1,148 @@
+// Bounded-variable simplex engine on a dense tableau.
+//
+// Design notes (see DESIGN.md §2):
+//  * Internal form: every user row becomes an equality `aᵀx + s = rhs` with a
+//    slack s bounded by the row sense (LE: [0, +inf), GE: (-inf, 0],
+//    EQ: [0, 0]); one artificial column per row provides the phase-1 basis.
+//  * The full tableau B⁻¹A is maintained across pivots, so a branch-and-bound
+//    driver can keep ONE engine alive for the whole tree: branching only
+//    changes variable bounds, which keeps the basis dual-feasible, and
+//    `dual_resolve()` repairs primal feasibility in a handful of pivots.
+//  * Dantzig pricing with a Bland fallback after a run of degenerate steps;
+//    periodic residual checks trigger a from-scratch refactorization when
+//    numerical drift exceeds tolerance.
+//
+// This is a from-scratch replacement for the commercial MILP/LP stack the
+// paper uses (Gurobi); no solver library exists in this environment.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace nd::lp {
+
+enum class SolveStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+};
+
+const char* to_string(SolveStatus s);
+
+/// Variable position relative to the basis.
+enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
+
+class Simplex {
+ public:
+  struct Options {
+    double tol = 1e-7;        ///< primal/dual feasibility tolerance
+    int max_iters = 200000;   ///< pivot limit per solve call
+    int bland_after = 400;    ///< consecutive degenerate pivots before Bland
+    int recheck_every = 4096; ///< pivots between numerical residual checks
+    /// Optional wall-clock deadline (checked every 128 pivots); expiry makes
+    /// the current loop return kIterLimit. Used by branch-and-bound so one
+    /// pathological LP cannot overrun the global time limit.
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  void set_deadline(std::chrono::steady_clock::time_point t) { opt_.deadline = t; }
+
+  explicit Simplex(const Problem& p);
+  Simplex(const Problem& p, Options opt);
+
+  /// Solve from scratch (phase 1 + phase 2).
+  SolveStatus solve();
+
+  /// Re-optimize after set_bound() calls, starting from the current basis
+  /// (dual simplex, falling back to a fresh solve on numerical trouble).
+  SolveStatus dual_resolve();
+
+  /// Change the bounds of structural variable j. Keeps the engine state
+  /// consistent; call dual_resolve() afterwards (possibly after several
+  /// set_bound calls).
+  void set_bound(int j, double lo, double hi);
+
+  [[nodiscard]] double bound_lo(int j) const { return lo_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double bound_hi(int j) const { return hi_[static_cast<std::size_t>(j)]; }
+
+  /// Objective value of the last optimal solve.
+  [[nodiscard]] double objective() const;
+
+  /// Structural-variable values of the last optimal solve.
+  [[nodiscard]] std::vector<double> solution() const;
+
+  /// Value of a single structural variable.
+  [[nodiscard]] double value(int j) const { return xval_[static_cast<std::size_t>(j)]; }
+
+  /// Reduced cost of a structural variable (valid after an optimal solve).
+  [[nodiscard]] double reduced_cost(int j) const { return d_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] VarStatus var_status(int j) const { return stat_[static_cast<std::size_t>(j)]; }
+
+  [[nodiscard]] int iterations() const { return total_iters_; }
+
+ private:
+  // Column layout: [0, n) structural, [n, n+m) slack, [n+m, n+2m) artificial.
+  [[nodiscard]] int slack_col(int r) const { return n_ + r; }
+  [[nodiscard]] int art_col(int r) const { return n_ + m_ + r; }
+  [[nodiscard]] double* trow(int r) { return tab_.data() + static_cast<std::size_t>(r) * nt_; }
+  [[nodiscard]] const double* trow(int r) const {
+    return tab_.data() + static_cast<std::size_t>(r) * nt_;
+  }
+
+  void build_initial_basis();
+  void compute_reduced_costs();
+  /// Refactor B⁻¹A from the original data; false if the basis has gone
+  /// numerically singular (caller should fall back to a cold solve).
+  [[nodiscard]] bool rebuild_tableau();
+
+  /// One primal simplex run with the current costs; returns status.
+  SolveStatus primal_loop();
+  /// One dual simplex run; returns kOptimal (primal feasible) or kInfeasible.
+  SolveStatus dual_loop();
+
+  /// Perform the pivot: entering column q replaces the basic variable of
+  /// row r, which leaves at `leave_target` (one of its bounds).
+  void pivot(int r, int q, double leave_target);
+
+  /// Max |row residual| of the current basic solution against original data.
+  [[nodiscard]] double residual() const;
+
+  [[nodiscard]] bool is_nonbasic_eligible_primal(int j, double* dir) const;
+
+  const Problem* prob_;
+  Options opt_;
+  int n_ = 0;   // structural vars
+  int m_ = 0;   // rows
+  int nt_ = 0;  // total columns = n + 2m
+  int nw_ = 0;  // working columns = n + m (artificial tail updated lazily)
+
+  std::vector<double> orig_;  // original equality matrix, m x nt (dense)
+  std::vector<double> rhs_;   // original rhs per row
+  std::vector<double> tab_;   // current tableau B⁻¹A, m x nt
+  std::vector<double> lo_, hi_;
+  std::vector<double> cost_;       // current phase costs
+  std::vector<double> real_cost_;  // phase-2 costs
+  std::vector<double> d_;          // reduced costs
+  std::vector<double> xval_;       // values of ALL columns
+  std::vector<int> basis_;         // basic column of each row
+  std::vector<VarStatus> stat_;
+  bool phase1_ = true;
+  bool basis_valid_ = false;
+  int degen_run_ = 0;
+  int total_iters_ = 0;
+};
+
+/// One-shot convenience: build an engine, solve, return (status, obj, x).
+struct LpResult {
+  SolveStatus status = SolveStatus::kIterLimit;
+  double obj = 0.0;
+  std::vector<double> x;
+  int iterations = 0;
+};
+LpResult solve_lp(const Problem& p, Simplex::Options opt = {});
+
+}  // namespace nd::lp

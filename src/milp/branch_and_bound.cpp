@@ -1,0 +1,279 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "lp/simplex.hpp"
+
+namespace nd::milp {
+
+const char* to_string(MipStatus s) {
+  switch (s) {
+    case MipStatus::kOptimal: return "optimal";
+    case MipStatus::kFeasible: return "feasible";
+    case MipStatus::kInfeasible: return "infeasible";
+    case MipStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+double MipResult::gap() const {
+  if (!has_solution()) return std::numeric_limits<double>::infinity();
+  const double denom = std::max(1e-12, std::abs(obj));
+  return std::max(0.0, obj - best_bound) / denom;
+}
+
+namespace {
+
+struct Frame {
+  int var = -1;
+  double old_lo = 0.0, old_hi = 0.0;
+  double second_lo = 0.0, second_hi = 0.0;
+  double node_obj = 0.0;  ///< LP bound of the node that was split
+  bool second_done = false;
+};
+
+/// Most fractional integer variable within the highest fractional priority
+/// class, or -1 if the point is integral.
+int pick_branch_var(const Model& model, const lp::Simplex& engine, double int_tol) {
+  int best = -1;
+  int best_prio = 0;
+  double best_frac = 0.0;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    if (!model.is_integer(j)) continue;
+    const double v = engine.value(j);
+    const double frac = std::abs(v - std::round(v));
+    if (frac <= int_tol) continue;
+    const int prio = model.priority(j);
+    if (best < 0 || prio > best_prio || (prio == best_prio && frac > best_frac)) {
+      best = j;
+      best_prio = prio;
+      best_frac = frac;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipResult solve(const Model& model, const MipOptions& opt) {
+  Stopwatch clock;
+  MipResult res;
+
+  lp::Simplex::Options lp_opt;
+  // Node LPs re-solve in tens of pivots; a tight cap makes pathological
+  // degenerate episodes fail fast into the rebuild/cold-solve fallback
+  // instead of burning the node budget.
+  lp_opt.max_iters = 50000;
+  lp::Simplex engine(model.lp(), lp_opt);
+  engine.set_deadline(std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(opt.time_limit_s)));
+
+  // Seed the incumbent from the warm start if it validates.
+  bool have_incumbent = false;
+  double incumbent_obj = std::numeric_limits<double>::infinity();
+  if (opt.warm_start != nullptr &&
+      model.is_mip_feasible(*opt.warm_start, std::max(1e-6, opt.int_tol))) {
+    res.x = *opt.warm_start;
+    incumbent_obj = model.lp().objective_value(*opt.warm_start);
+    have_incumbent = true;
+  }
+
+  lp::SolveStatus lp_status = engine.solve();
+  if (lp_status == lp::SolveStatus::kInfeasible) {
+    res.status = MipStatus::kInfeasible;
+    res.best_bound = std::numeric_limits<double>::infinity();
+    res.seconds = clock.seconds();
+    res.lp_iterations = engine.iterations();
+    return res;
+  }
+  ND_ASSERT(lp_status != lp::SolveStatus::kUnbounded,
+            "deployment MILPs have bounded variables; unbounded LP indicates a model bug");
+
+  const double root_bound =
+      (lp_status == lp::SolveStatus::kOptimal) ? engine.objective()
+                                               : -std::numeric_limits<double>::infinity();
+
+  // Root reduced-cost fixing: with an incumbent in hand, a nonbasic integer
+  // variable whose reduced cost alone would push the objective past the
+  // incumbent can be frozen at its bound for the whole tree.
+  if (have_incumbent && lp_status == lp::SolveStatus::kOptimal) {
+    const double slack = incumbent_obj - root_bound;
+    int fixed = 0;
+    for (int j = 0; j < model.num_vars(); ++j) {
+      if (!model.is_integer(j)) continue;
+      const double lo = engine.bound_lo(j);
+      const double hi = engine.bound_hi(j);
+      if (hi - lo < 0.5) continue;
+      const double d = engine.reduced_cost(j);
+      const auto st = engine.var_status(j);
+      if (st == lp::VarStatus::kAtLower && d > slack + 1e-9) {
+        engine.set_bound(j, lo, lo);
+        ++fixed;
+      } else if (st == lp::VarStatus::kAtUpper && -d > slack + 1e-9) {
+        engine.set_bound(j, hi, hi);
+        ++fixed;
+      }
+    }
+    if (opt.verbose && fixed > 0) {
+      std::printf("[bnb] reduced-cost fixing froze %d integer variable(s) at the root\n", fixed);
+    }
+  }
+
+  std::vector<Frame> stack;
+  bool hit_limit = (lp_status == lp::SolveStatus::kIterLimit);
+  bool node_solved = (lp_status == lp::SolveStatus::kOptimal);
+
+  auto cutoff = [&]() {
+    if (!have_incumbent) return std::numeric_limits<double>::infinity();
+    return incumbent_obj - std::max(opt.abs_gap, opt.rel_gap * std::abs(incumbent_obj));
+  };
+
+  while (!hit_limit) {
+    ++res.nodes;
+    if (clock.seconds() > opt.time_limit_s || res.nodes > opt.node_limit) {
+      hit_limit = true;
+      break;
+    }
+    if (opt.verbose && res.nodes % 5000 == 0) {
+      std::printf("[bnb] nodes=%lld depth=%zu incumbent=%s\n",
+                  static_cast<long long>(res.nodes), stack.size(),
+                  have_incumbent ? std::to_string(incumbent_obj).c_str() : "-");
+    }
+
+    bool prune = !node_solved;  // LP infeasible at this node
+    double node_obj = 0.0;
+    if (node_solved) {
+      node_obj = engine.objective();
+      if (node_obj >= cutoff()) prune = true;
+    }
+
+    if (!prune && opt.completion) {
+      // Problem-specific completion: may both improve the incumbent and
+      // close this node when it matches the LP bound.
+      std::vector<double> candidate;
+      if (opt.completion(engine.solution(), &candidate) &&
+          model.is_mip_feasible(candidate, std::max(1e-5, opt.int_tol))) {
+        const double cand_obj = model.lp().objective_value(candidate);
+        if (cand_obj < incumbent_obj) {
+          incumbent_obj = cand_obj;
+          res.x = std::move(candidate);
+          have_incumbent = true;
+        }
+        if (cand_obj <= node_obj + std::max(opt.abs_gap, opt.rel_gap * std::abs(cand_obj))) {
+          prune = true;  // subtree cannot beat this candidate
+        }
+      }
+    }
+
+    int branch_var = -1;
+    if (!prune) {
+      branch_var = pick_branch_var(model, engine, opt.int_tol);
+      if (branch_var < 0) {
+        // Integral point: round and promote to incumbent.
+        std::vector<double> x = engine.solution();
+        for (int j = 0; j < model.num_vars(); ++j) {
+          if (model.is_integer(j)) {
+            const auto ju = static_cast<std::size_t>(j);
+            x[ju] = std::round(x[ju]);
+          }
+        }
+        if (node_obj < incumbent_obj &&
+            model.is_mip_feasible(x, std::max(1e-5, opt.int_tol))) {
+          incumbent_obj = node_obj;
+          res.x = std::move(x);
+          have_incumbent = true;
+        }
+        prune = true;
+      }
+    }
+
+    if (!prune) {
+      // Split on branch_var; explore the child nearest the LP value first.
+      Frame f;
+      f.var = branch_var;
+      f.old_lo = engine.bound_lo(branch_var);
+      f.old_hi = engine.bound_hi(branch_var);
+      if (f.old_hi - f.old_lo < 0.5) {
+        // A fixed variable with a fractional LP value means the engine lost
+        // primal feasibility beyond repair — stop with what we have.
+        hit_limit = true;
+        break;
+      }
+      // Clamp against tolerance-level bound violations so both children get
+      // non-empty domains.
+      const double v = std::clamp(engine.value(branch_var), f.old_lo, f.old_hi);
+      double fl = std::floor(v);
+      fl = std::clamp(fl, f.old_lo, f.old_hi - 1.0);
+      f.node_obj = node_obj;
+      double first_lo, first_hi;
+      if (v - fl <= 0.5) {  // down child first
+        first_lo = f.old_lo;
+        first_hi = fl;
+        f.second_lo = fl + 1.0;
+        f.second_hi = f.old_hi;
+      } else {  // up child first
+        first_lo = fl + 1.0;
+        first_hi = f.old_hi;
+        f.second_lo = f.old_lo;
+        f.second_hi = fl;
+      }
+      stack.push_back(f);
+      engine.set_bound(branch_var, first_lo, first_hi);
+      const lp::SolveStatus s = engine.dual_resolve();
+      if (s == lp::SolveStatus::kIterLimit) {
+        hit_limit = true;
+        break;
+      }
+      node_solved = (s == lp::SolveStatus::kOptimal);
+      continue;
+    }
+
+    // Backtrack to the next pending child.
+    bool descended = false;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (!f.second_done) {
+        f.second_done = true;
+        engine.set_bound(f.var, f.second_lo, f.second_hi);
+        // Parent bound may already prune the sibling subtree.
+        if (f.node_obj >= cutoff()) continue;
+        const lp::SolveStatus s = engine.dual_resolve();
+        if (s == lp::SolveStatus::kIterLimit) {
+          hit_limit = true;
+          break;
+        }
+        node_solved = (s == lp::SolveStatus::kOptimal);
+        descended = true;
+        break;
+      }
+      engine.set_bound(f.var, f.old_lo, f.old_hi);
+      stack.pop_back();
+    }
+    if (hit_limit) break;
+    if (!descended && stack.empty()) break;  // tree exhausted
+  }
+
+  // Final bookkeeping.
+  res.seconds = clock.seconds();
+  res.lp_iterations = engine.iterations();
+  double open_bound = std::numeric_limits<double>::infinity();
+  for (const Frame& f : stack) open_bound = std::min(open_bound, f.node_obj);
+  if (hit_limit) {
+    res.best_bound = std::min({open_bound, root_bound,
+                               have_incumbent ? incumbent_obj : open_bound});
+    res.status = have_incumbent ? MipStatus::kFeasible : MipStatus::kUnknown;
+  } else {
+    res.best_bound = have_incumbent ? incumbent_obj : std::numeric_limits<double>::infinity();
+    res.status = have_incumbent ? MipStatus::kOptimal : MipStatus::kInfeasible;
+  }
+  if (have_incumbent) res.obj = incumbent_obj;
+  return res;
+}
+
+}  // namespace nd::milp

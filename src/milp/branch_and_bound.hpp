@@ -1,0 +1,63 @@
+// Branch-and-bound MILP solver.
+//
+// Strategy: depth-first with plunging (the child nearest the fractional LP
+// value is explored first), most-fractional branching, a single simplex
+// engine reused across the whole tree (branching = bound change + dual
+// re-solve), warm-start incumbents, and wall-clock/node limits. This stands
+// in for the commercial solver (Gurobi) used in the paper; see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace nd::milp {
+
+enum class MipStatus : std::uint8_t {
+  kOptimal,     ///< proved optimal within gap tolerances
+  kFeasible,    ///< limit hit with an incumbent in hand
+  kInfeasible,  ///< proved infeasible
+  kUnknown,     ///< limit hit with no incumbent
+};
+
+const char* to_string(MipStatus s);
+
+struct MipOptions {
+  double time_limit_s = 120.0;
+  std::int64_t node_limit = 50'000'000;
+  double int_tol = 1e-6;
+  double abs_gap = 1e-9;
+  double rel_gap = 1e-6;
+  bool verbose = false;
+  /// Optional integer-feasible starting point (e.g. from the heuristic);
+  /// silently ignored if it fails feasibility validation.
+  const std::vector<double>* warm_start = nullptr;
+  /// Optional problem-specific completion heuristic: given a node's LP point,
+  /// try to produce a full integer-feasible point (e.g. complete integral
+  /// placement decisions with a constructive schedule). If the returned
+  /// point's objective matches the node's LP bound within the gap
+  /// tolerances, the node is solved exactly and pruned.
+  std::function<bool(const std::vector<double>& lp_point, std::vector<double>* out)>
+      completion;
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::kUnknown;
+  double obj = 0.0;         ///< incumbent objective (valid unless kUnknown/kInfeasible)
+  double best_bound = 0.0;  ///< proved lower bound on the optimum
+  std::vector<double> x;    ///< incumbent point
+  std::int64_t nodes = 0;
+  double seconds = 0.0;
+  int lp_iterations = 0;
+
+  [[nodiscard]] bool has_solution() const {
+    return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
+  }
+  [[nodiscard]] double gap() const;
+};
+
+MipResult solve(const Model& model, const MipOptions& opt = {});
+
+}  // namespace nd::milp

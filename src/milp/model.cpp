@@ -1,0 +1,60 @@
+#include "milp/model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace nd::milp {
+
+int Model::add_cont(double lo, double hi, double obj, std::string name) {
+  const int j = lp_.add_var(lo, hi, obj, std::move(name));
+  integer_.push_back(false);
+  priority_.push_back(0);
+  return j;
+}
+
+int Model::add_bin(double obj, std::string name) {
+  const int j = lp_.add_var(0.0, 1.0, obj, std::move(name));
+  integer_.push_back(true);
+  priority_.push_back(0);
+  return j;
+}
+
+int Model::add_int(double lo, double hi, double obj, std::string name) {
+  const int j = lp_.add_var(lo, hi, obj, std::move(name));
+  integer_.push_back(true);
+  priority_.push_back(0);
+  return j;
+}
+
+int Model::add_var(double lo, double hi, double obj, bool integer, std::string name) {
+  const int j = lp_.add_var(lo, hi, obj, std::move(name));
+  integer_.push_back(integer);
+  priority_.push_back(0);
+  return j;
+}
+
+int Model::num_integers() const {
+  int n = 0;
+  for (const bool b : integer_) n += b ? 1 : 0;
+  return n;
+}
+
+bool Model::is_mip_feasible(const std::vector<double>& x, double tol, std::string* why) const {
+  if (!lp_.is_feasible(x, tol, why)) return false;
+  for (int j = 0; j < num_vars(); ++j) {
+    if (!is_integer(j)) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    if (std::abs(v - std::round(v)) > tol) {
+      if (why != nullptr) {
+        std::ostringstream os;
+        os << lp_.name(j) << " = " << v << " not integral";
+        *why = os.str();
+      }
+      return false;
+    }
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+}  // namespace nd::milp

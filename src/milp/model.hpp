@@ -1,0 +1,50 @@
+// Mixed-integer linear program container: an lp::Problem plus integrality
+// marks. This is the input of the branch-and-bound solver and the output
+// format of src/model's MILP formulation builder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace nd::milp {
+
+class Model {
+ public:
+  /// Continuous variable.
+  int add_cont(double lo, double hi, double obj, std::string name = {});
+  /// Binary variable (bounds [0,1], integral).
+  int add_bin(double obj, std::string name = {});
+  /// General integer variable.
+  int add_int(double lo, double hi, double obj, std::string name = {});
+  /// Fully general variable (used by model builders that fix bounds, e.g. a
+  /// binary frozen to 0 by presolve-style pruning).
+  int add_var(double lo, double hi, double obj, bool integer, std::string name = {});
+
+  void add_row(const std::vector<std::pair<int, double>>& coef, lp::Sense sense, double rhs) {
+    lp_.add_row(coef, sense, rhs);
+  }
+  void add_row(lp::Row row) { lp_.add_row(std::move(row)); }
+
+  [[nodiscard]] const lp::Problem& lp() const { return lp_; }
+  [[nodiscard]] bool is_integer(int j) const { return integer_[static_cast<std::size_t>(j)]; }
+
+  /// Branching priority (higher = branch earlier); default 0.
+  void set_priority(int j, int priority) { priority_[static_cast<std::size_t>(j)] = priority; }
+  [[nodiscard]] int priority(int j) const { return priority_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] int num_vars() const { return lp_.num_vars(); }
+  [[nodiscard]] int num_rows() const { return lp_.num_rows(); }
+  [[nodiscard]] int num_integers() const;
+
+  /// True iff x satisfies all rows, bounds and integrality within tol.
+  [[nodiscard]] bool is_mip_feasible(const std::vector<double>& x, double tol,
+                                     std::string* why = nullptr) const;
+
+ private:
+  lp::Problem lp_;
+  std::vector<bool> integer_;
+  std::vector<int> priority_;
+};
+
+}  // namespace nd::milp

@@ -1,0 +1,279 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace nd::noc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Mesh::Mesh(const MeshParams& params) : params_(params) {
+  ND_REQUIRE(params_.rows >= 1 && params_.cols >= 1, "mesh must be at least 1x1");
+  ND_REQUIRE(params_.router_energy_per_byte >= 0.0 && params_.link_energy_per_byte >= 0.0 &&
+                 params_.link_latency_per_byte >= 0.0,
+             "negative NoC cost");
+  ND_REQUIRE(params_.variation >= 0.0 && params_.variation < 1.0,
+             "variation must be in [0, 1)");
+
+  const int n = num_procs();
+
+  // Enumerate directed links in a fixed order (east, west, south, north per
+  // node) so the variation draw is stable across runs.
+  for (int node = 0; node < n; ++node) {
+    const auto [r, c] = coords(node);
+    if (c + 1 < params_.cols) links_.emplace_back(node, node_id(r, c + 1));
+    if (c - 1 >= 0) links_.emplace_back(node, node_id(r, c - 1));
+    if (r + 1 < params_.rows) links_.emplace_back(node, node_id(r + 1, c));
+    if (r - 1 >= 0) links_.emplace_back(node, node_id(r - 1, c));
+  }
+  Prng prng(params_.seed);
+  link_energy_.reserve(links_.size());
+  link_latency_.reserve(links_.size());
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    // Independent draws so the energy-cheapest and time-cheapest routes can
+    // disagree (the premise of the paper's multi-path selection).
+    link_energy_.push_back(params_.link_energy_per_byte *
+                           (1.0 + params_.variation * (2.0 * prng.uniform() - 1.0)));
+    link_latency_.push_back(params_.link_latency_per_byte *
+                            (1.0 + params_.variation * (2.0 * prng.uniform() - 1.0)));
+  }
+
+  // Adjacency: node -> (link index, neighbour).
+  std::vector<std::vector<std::pair<std::size_t, int>>> adj(static_cast<std::size_t>(n));
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    adj[static_cast<std::size_t>(links_[l].first)].emplace_back(l, links_[l].second);
+  }
+
+  // Candidate-path construction under the configured policy.
+  paths_.resize(static_cast<std::size_t>(n) * n * kNumPaths);
+  if (params_.policy == PathPolicy::kXyYx) {
+    // Dimension-ordered deterministic routes: ρ=0 travels columns first
+    // (XY), ρ=1 rows first (YX). Costs still use the heterogeneous links.
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < n; ++dst) {
+        for (int rho = 0; rho < kNumPaths; ++rho) {
+          PathInfo& pi =
+              paths_[(static_cast<std::size_t>(src) * n + static_cast<std::size_t>(dst)) *
+                         kNumPaths +
+                     static_cast<std::size_t>(rho)];
+          if (dst == src) {
+            pi.nodes = {src};
+            continue;
+          }
+          const auto [r0, c0] = coords(src);
+          const auto [r1, c1] = coords(dst);
+          std::vector<int> nodes{src};
+          int r = r0, cc = c0;
+          auto step_cols = [&] {
+            while (cc != c1) {
+              cc += (c1 > cc) ? 1 : -1;
+              nodes.push_back(node_id(r, cc));
+            }
+          };
+          auto step_rows = [&] {
+            while (r != r1) {
+              r += (r1 > r) ? 1 : -1;
+              nodes.push_back(node_id(r, cc));
+            }
+          };
+          if (rho == 0) {
+            step_cols();
+            step_rows();
+          } else {
+            step_rows();
+            step_cols();
+          }
+          pi.nodes = std::move(nodes);
+          std::vector<double> share(static_cast<std::size_t>(n), 0.0);
+          for (std::size_t s = 0; s < pi.nodes.size(); ++s) {
+            share[static_cast<std::size_t>(pi.nodes[s])] += params_.router_energy_per_byte;
+            if (s + 1 < pi.nodes.size()) {
+              const std::size_t l = link_index(pi.nodes[s], pi.nodes[s + 1]);
+              share[static_cast<std::size_t>(pi.nodes[s])] += link_energy_[l];
+              pi.time_per_byte += link_latency_[l];
+            }
+          }
+          for (int k = 0; k < n; ++k) {
+            if (share[static_cast<std::size_t>(k)] > 0.0) {
+              pi.shares.emplace_back(k, share[static_cast<std::size_t>(k)]);
+              pi.total_energy += share[static_cast<std::size_t>(k)];
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
+  for (int rho = 0; rho < kNumPaths; ++rho) {
+    const bool energy_metric = (rho == 0);
+    for (int src = 0; src < n; ++src) {
+      std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+      std::vector<int> from(static_cast<std::size_t>(n), -1);
+      dist[static_cast<std::size_t>(src)] = 0.0;
+      using QE = std::pair<double, int>;
+      std::priority_queue<QE, std::vector<QE>, std::greater<>> q;
+      q.emplace(0.0, src);
+      while (!q.empty()) {
+        const auto [d, u] = q.top();
+        q.pop();
+        if (d > dist[static_cast<std::size_t>(u)]) continue;
+        for (const auto& [l, v] : adj[static_cast<std::size_t>(u)]) {
+          const double w = energy_metric
+                               ? link_energy_[l] + params_.router_energy_per_byte
+                               : link_latency_[l];
+          const double nd = d + w;
+          // Deterministic tie-break on predecessor index keeps paths stable.
+          if (nd < dist[static_cast<std::size_t>(v)] - 1e-18 ||
+              (nd <= dist[static_cast<std::size_t>(v)] + 1e-18 &&
+               from[static_cast<std::size_t>(v)] > u)) {
+            dist[static_cast<std::size_t>(v)] = nd;
+            from[static_cast<std::size_t>(v)] = u;
+            q.emplace(nd, v);
+          }
+        }
+      }
+      for (int dst = 0; dst < n; ++dst) {
+        PathInfo& pi =
+            paths_[(static_cast<std::size_t>(src) * n + static_cast<std::size_t>(dst)) *
+                       kNumPaths +
+                   static_cast<std::size_t>(rho)];
+        if (dst == src) {
+          pi.nodes = {src};
+          continue;
+        }
+        ND_ASSERT(std::isfinite(dist[static_cast<std::size_t>(dst)]), "mesh is connected");
+        std::vector<int> nodes;
+        for (int u = dst; u != -1; u = from[static_cast<std::size_t>(u)]) nodes.push_back(u);
+        std::reverse(nodes.begin(), nodes.end());
+        pi.nodes = std::move(nodes);
+
+        // Charge the router energy at every traversed node and each link's
+        // energy to its upstream node; accumulate latency along links.
+        std::vector<double> share(static_cast<std::size_t>(n), 0.0);
+        for (std::size_t s = 0; s < pi.nodes.size(); ++s) {
+          share[static_cast<std::size_t>(pi.nodes[s])] += params_.router_energy_per_byte;
+          if (s + 1 < pi.nodes.size()) {
+            const std::size_t l = link_index(pi.nodes[s], pi.nodes[s + 1]);
+            share[static_cast<std::size_t>(pi.nodes[s])] += link_energy_[l];
+            pi.time_per_byte += link_latency_[l];
+          }
+        }
+        for (int k = 0; k < n; ++k) {
+          if (share[static_cast<std::size_t>(k)] > 0.0) {
+            pi.shares.emplace_back(k, share[static_cast<std::size_t>(k)]);
+            pi.total_energy += share[static_cast<std::size_t>(k)];
+          }
+        }
+      }
+    }
+  }
+}
+
+std::size_t Mesh::link_index(int from, int to) const {
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (links_[l].first == from && links_[l].second == to) return l;
+  }
+  ND_ASSERT(false, "no such link");
+  return 0;
+}
+
+double Mesh::hop_latency_per_byte(int from, int to) const {
+  return link_latency_[link_index(from, to)];
+}
+
+int Mesh::manhattan(int a, int b) const {
+  const auto [ra, ca] = coords(a);
+  const auto [rb, cb] = coords(b);
+  return std::abs(ra - rb) + std::abs(ca - cb);
+}
+
+const Mesh::PathInfo& Mesh::info(int beta, int gamma, int rho) const {
+  ND_REQUIRE(beta >= 0 && beta < num_procs() && gamma >= 0 && gamma < num_procs(),
+             "processor index out of range");
+  ND_REQUIRE(rho >= 0 && rho < kNumPaths, "path index out of range");
+  return paths_[(static_cast<std::size_t>(beta) * num_procs() + static_cast<std::size_t>(gamma)) *
+                    kNumPaths +
+                static_cast<std::size_t>(rho)];
+}
+
+const std::vector<int>& Mesh::path_nodes(int beta, int gamma, int rho) const {
+  return info(beta, gamma, rho).nodes;
+}
+
+double Mesh::time_per_byte(int beta, int gamma, int rho) const {
+  return info(beta, gamma, rho).time_per_byte;
+}
+
+double Mesh::energy_per_byte(int beta, int gamma, int k, int rho) const {
+  for (const auto& [node, e] : info(beta, gamma, rho).shares) {
+    if (node == k) return e;
+  }
+  return 0.0;
+}
+
+const std::vector<std::pair<int, double>>& Mesh::energy_shares(int beta, int gamma,
+                                                               int rho) const {
+  return info(beta, gamma, rho).shares;
+}
+
+double Mesh::total_energy_per_byte(int beta, int gamma, int rho) const {
+  return info(beta, gamma, rho).total_energy;
+}
+
+double Mesh::max_time_per_byte() const {
+  double mx = 0.0;
+  for (int b = 0; b < num_procs(); ++b)
+    for (int g = 0; g < num_procs(); ++g)
+      for (int rho = 0; rho < kNumPaths; ++rho)
+        if (b != g) mx = std::max(mx, time_per_byte(b, g, rho));
+  return mx;
+}
+
+double Mesh::min_time_per_byte() const {
+  double mn = kInf;
+  for (int b = 0; b < num_procs(); ++b)
+    for (int g = 0; g < num_procs(); ++g)
+      for (int rho = 0; rho < kNumPaths; ++rho)
+        if (b != g) mn = std::min(mn, time_per_byte(b, g, rho));
+  return (num_procs() > 1) ? mn : 0.0;
+}
+
+double Mesh::max_energy_share() const {
+  double mx = 0.0;
+  for (int b = 0; b < num_procs(); ++b)
+    for (int g = 0; g < num_procs(); ++g)
+      for (int rho = 0; rho < kNumPaths; ++rho) {
+        if (b == g) continue;
+        for (const auto& [node, e] : energy_shares(b, g, rho)) {
+          (void)node;
+          mx = std::max(mx, e);
+        }
+      }
+  return mx;
+}
+
+double Mesh::avg_energy_share(int k) const {
+  // Algorithm 2 fixes E_k^comm to M2·(max_{β,γ} e_{βγk,ρ=0} + min_{β,γ}
+  // e_{βγk,ρ=1})/2 before paths are known; this returns the (max+min)/2 part.
+  double mx = 0.0;
+  double mn = kInf;
+  bool any = false;
+  for (int b = 0; b < num_procs(); ++b)
+    for (int g = 0; g < num_procs(); ++g) {
+      if (b == g) continue;
+      mx = std::max(mx, energy_per_byte(b, g, k, 0));
+      mn = std::min(mn, energy_per_byte(b, g, k, 1));
+      any = true;
+    }
+  if (!any) return 0.0;
+  return 0.5 * (mx + mn);
+}
+
+}  // namespace nd::noc

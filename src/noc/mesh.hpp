@@ -1,0 +1,111 @@
+// 2D-mesh NoC model (§II-A.2).
+//
+// N = rows·cols processors, each paired with a router; routers connect to
+// their 4-neighbours by directed links. Per-link multiplicative variation
+// (process variation / static congestion proxy) makes the energy-cheapest
+// and the latency-cheapest routes genuinely different, which is what gives
+// the paper's P = 2 candidate paths per processor pair:
+//   ρ = 0 : energy-oriented shortest path (Dijkstra on energy weights),
+//   ρ = 1 : time-oriented shortest path (Dijkstra on latency weights).
+//
+// Cost attribution follows the paper: the energy a transfer burns at each
+// traversed router (and the outgoing link, charged to the upstream node) is
+// folded into that router's processor, producing the tensor e_βγkρ [J/byte];
+// the latency of a path is t_βγρ [s/byte]. Same-processor communication is
+// free (e = t = 0).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nd::noc {
+
+/// How the two candidate paths per processor pair are chosen.
+enum class PathPolicy {
+  /// ρ=0 energy-oriented, ρ=1 time-oriented Dijkstra shortest paths over the
+  /// heterogeneous link weights (the paper's model; default).
+  kDijkstra,
+  /// ρ=0 XY (column-last) and ρ=1 YX (row-last) dimension-ordered routes —
+  /// the classic deterministic mesh-routing baseline.
+  kXyYx,
+};
+
+struct MeshParams {
+  int rows = 4;
+  int cols = 4;
+  double router_energy_per_byte = 5.0e-9;  ///< J/byte per traversed router
+  double link_energy_per_byte = 2.0e-9;    ///< J/byte per traversed link
+  double link_latency_per_byte = 2.5e-10;  ///< s/byte per traversed link
+  double variation = 0.35;                 ///< ± relative per-link heterogeneity
+  std::uint64_t seed = 1;                  ///< PRNG seed for the variation
+  PathPolicy policy = PathPolicy::kDijkstra;
+};
+
+class Mesh {
+ public:
+  static constexpr int kNumPaths = 2;  ///< P in the paper
+
+  explicit Mesh(const MeshParams& params);
+
+  [[nodiscard]] const MeshParams& params() const { return params_; }
+  [[nodiscard]] int rows() const { return params_.rows; }
+  [[nodiscard]] int cols() const { return params_.cols; }
+  [[nodiscard]] int num_procs() const { return params_.rows * params_.cols; }
+
+  [[nodiscard]] int node_id(int row, int col) const { return row * params_.cols + col; }
+  [[nodiscard]] std::pair<int, int> coords(int node) const {
+    return {node / params_.cols, node % params_.cols};
+  }
+  [[nodiscard]] int manhattan(int a, int b) const;
+
+  /// Router sequence of path ρ from β to γ (β first, γ last; {β} if β == γ).
+  [[nodiscard]] const std::vector<int>& path_nodes(int beta, int gamma, int rho) const;
+
+  /// t_βγρ: seconds per byte along path ρ (0 when β == γ).
+  [[nodiscard]] double time_per_byte(int beta, int gamma, int rho) const;
+
+  /// e_βγkρ: joules per byte charged to processor k (0 if k not on the path).
+  [[nodiscard]] double energy_per_byte(int beta, int gamma, int k, int rho) const;
+
+  /// Per-node energy shares of a path: (processor, J/byte) pairs; their sum
+  /// equals total_energy_per_byte().
+  [[nodiscard]] const std::vector<std::pair<int, double>>& energy_shares(int beta, int gamma,
+                                                                         int rho) const;
+
+  /// Total joules per byte along path ρ.
+  [[nodiscard]] double total_energy_per_byte(int beta, int gamma, int rho) const;
+
+  /// Latency of the single directed link from → to [s/byte]; from and to
+  /// must be mesh neighbours. Used by the contention-aware simulator.
+  [[nodiscard]] double hop_latency_per_byte(int from, int to) const;
+
+  // Aggregates over off-diagonal pairs — used by heuristic P3's placeholder
+  // averages and by the μ index of Fig. 2(b).
+  [[nodiscard]] double max_time_per_byte() const;
+  [[nodiscard]] double min_time_per_byte() const;
+  /// max over β,γ,k,ρ of e_βγkρ.
+  [[nodiscard]] double max_energy_share() const;
+  /// max (ρ = 0) / min (ρ = 1) of per-processor shares involving processor k,
+  /// as used by Algorithm 2's E_k^comm placeholder.
+  [[nodiscard]] double avg_energy_share(int k) const;
+
+ private:
+  struct PathInfo {
+    std::vector<int> nodes;
+    double time_per_byte = 0.0;
+    std::vector<std::pair<int, double>> shares;  // (node, J/byte)
+    double total_energy = 0.0;
+  };
+
+  [[nodiscard]] const PathInfo& info(int beta, int gamma, int rho) const;
+  [[nodiscard]] std::size_t link_index(int from, int to) const;
+
+  MeshParams params_;
+  // Directed links in a fixed order; per-link multipliers.
+  std::vector<std::pair<int, int>> links_;
+  std::vector<double> link_energy_, link_latency_;
+  std::vector<PathInfo> paths_;  // [beta][gamma][rho] flattened
+};
+
+}  // namespace nd::noc

@@ -1,0 +1,30 @@
+#include "reliability/fault_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nd::reliability {
+
+FaultModel::FaultModel(FaultParams params, const dvfs::VfTable& table)
+    : params_(params), table_(&table) {
+  ND_REQUIRE(params_.lambda0 > 0.0, "lambda0 must be positive");
+  ND_REQUIRE(params_.d >= 0.0, "sensitivity d must be non-negative");
+}
+
+double FaultModel::rate(int level) const {
+  const double f = table_->level(level).freq;
+  const double fmax = table_->f_max();
+  const double fmin = table_->f_min();
+  const double span = fmax - fmin;
+  // Single-level tables degenerate to rate λ at f_max.
+  const double scale = (span > 0.0) ? (fmax - f) / span : 0.0;
+  return params_.lambda0 * std::pow(10.0, params_.d * scale);
+}
+
+double FaultModel::task_reliability(std::uint64_t cycles, int level) const {
+  const double t = table_->exec_time(cycles, level);
+  return std::exp(-rate(level) * t);
+}
+
+}  // namespace nd::reliability

@@ -1,0 +1,49 @@
+// Transient-fault (soft error) model of the paper (§II-A.3).
+//
+// Poisson faults with a DVFS-dependent rate: executing task τ_i (C_i cycles)
+// at level l gives reliability
+//   r_il = exp( -λ · 10^{ d·(f_max - f_l)/(f_max - f_min) } · C_i / f_l )
+// i.e. lower frequency ⇒ both longer exposure (C_i/f_l) and a higher rate
+// (the 10^{...} term models the increased sensitivity of near-threshold
+// operation to particle strikes).
+//
+// When r_il < R_th the task is duplicated; two copies fail together only if
+// both suffer a fault: r' = 1 - (1 - r_a)(1 - r_b).
+#pragma once
+
+#include <cstdint>
+
+#include "dvfs/vf_table.hpp"
+
+namespace nd::reliability {
+
+struct FaultParams {
+  double lambda0 = 1.0e-6;  ///< fault rate at f_max [faults/s]
+  double d = 3.0;           ///< sensitivity of the rate to frequency scaling
+};
+
+class FaultModel {
+ public:
+  FaultModel(FaultParams params, const dvfs::VfTable& table);
+
+  /// Poisson fault rate when running at level l [faults/s].
+  [[nodiscard]] double rate(int level) const;
+
+  /// Single-copy reliability r_il of a task with `cycles` WCEC at level l.
+  [[nodiscard]] double task_reliability(std::uint64_t cycles, int level) const;
+
+  /// Reliability of a duplicated task: at least one of two independent
+  /// copies succeeds.
+  [[nodiscard]] static double duplicated(double r_a, double r_b) {
+    return 1.0 - (1.0 - r_a) * (1.0 - r_b);
+  }
+
+  [[nodiscard]] const FaultParams& params() const { return params_; }
+  [[nodiscard]] const dvfs::VfTable& table() const { return *table_; }
+
+ private:
+  FaultParams params_;
+  const dvfs::VfTable* table_;
+};
+
+}  // namespace nd::reliability

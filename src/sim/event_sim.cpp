@@ -1,0 +1,215 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "deploy/evaluate.hpp"
+
+namespace nd::sim {
+
+namespace {
+constexpr double kTol = 1e-7;
+
+bool edge_active(const task::DupEdge& e, const deploy::DeploymentSolution& s) {
+  if (!s.exists[static_cast<std::size_t>(e.from)] || !s.exists[static_cast<std::size_t>(e.to)])
+    return false;
+  return std::all_of(e.gates.begin(), e.gates.end(),
+                     [&](int g) { return s.exists[static_cast<std::size_t>(g)] != 0; });
+}
+}  // namespace
+
+SimResult simulate(const deploy::DeploymentProblem& p, const deploy::DeploymentSolution& s,
+                   const SimOptions& opts) {
+  const int total = p.num_total_tasks();
+  const int n = p.num_procs();
+  SimResult res;
+  res.sim_start.assign(static_cast<std::size_t>(total), 0.0);
+  res.sim_end.assign(static_cast<std::size_t>(total), 0.0);
+
+  // Per-processor dispatch queues in analytic start order (FIFO execution).
+  std::vector<std::vector<int>> dispatch(static_cast<std::size_t>(n));
+  std::vector<int> order;
+  for (int i = 0; i < total; ++i)
+    if (s.exists[static_cast<std::size_t>(i)]) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = s.start[static_cast<std::size_t>(a)];
+    const double sb = s.start[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  for (const int i : order) dispatch[static_cast<std::size_t>(s.proc[static_cast<std::size_t>(i)])].push_back(i);
+
+  // Pending inbound messages per task and counters.
+  std::vector<int> missing_msgs(static_cast<std::size_t>(total), 0);
+  std::vector<int> missing_preds(static_cast<std::size_t>(total), 0);
+  std::vector<double> inbox_free(static_cast<std::size_t>(total), 0.0);
+  std::vector<double> ready_at(static_cast<std::size_t>(total), 0.0);
+  for (int i = 0; i < total; ++i) {
+    if (!s.exists[static_cast<std::size_t>(i)]) continue;
+    for (const int ei : p.dup().in_edges(i)) {
+      const auto& e = p.dup().edges()[static_cast<std::size_t>(ei)];
+      if (!edge_active(e, s)) continue;
+      ++missing_preds[static_cast<std::size_t>(i)];
+      const int beta = s.proc[static_cast<std::size_t>(e.from)];
+      const int gamma = s.proc[static_cast<std::size_t>(e.to)];
+      if (beta != gamma) ++missing_msgs[static_cast<std::size_t>(i)];
+    }
+  }
+
+  // In-flight message state for the contention mode: current hop index along
+  // its path. Keyed by edge index (each active cross-processor edge carries
+  // exactly one message per run).
+  struct Flight {
+    std::vector<int> nodes;  // router sequence
+    std::size_t hop = 0;     // next link to traverse: nodes[hop] -> nodes[hop+1]
+  };
+  std::map<int, Flight> flights;
+  std::map<std::pair<int, int>, double> link_free;
+
+  enum class Kind { kTaskFinish, kMsgDelivered, kMsgHop };
+  struct Event {
+    double time;
+    Kind kind;
+    int id;      // task (finish) or edge (delivery)
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  std::vector<std::size_t> head(static_cast<std::size_t>(n), 0);
+  std::vector<double> proc_free(static_cast<std::size_t>(n), 0.0);
+  std::vector<char> started(static_cast<std::size_t>(total), 0);
+  int remaining = static_cast<int>(order.size());
+  double now = 0.0;
+
+  // Try to start the head task of each processor queue.
+  auto pump = [&] {
+    for (int k = 0; k < n; ++k) {
+      auto& q = dispatch[static_cast<std::size_t>(k)];
+      while (head[static_cast<std::size_t>(k)] < q.size()) {
+        const int i = q[head[static_cast<std::size_t>(k)]];
+        const auto iu = static_cast<std::size_t>(i);
+        if (started[iu]) {
+          ++head[static_cast<std::size_t>(k)];
+          continue;
+        }
+        if (missing_preds[iu] > 0 || missing_msgs[iu] > 0) break;
+        const double start = std::max({now, proc_free[static_cast<std::size_t>(k)], ready_at[iu]});
+        started[iu] = 1;
+        res.sim_start[iu] = start;
+        const double end = start + deploy::comp_time(p, s, i);
+        res.sim_end[iu] = end;
+        proc_free[static_cast<std::size_t>(k)] = end;
+        events.push({end, Kind::kTaskFinish, i});
+        ++head[static_cast<std::size_t>(k)];
+      }
+    }
+  };
+
+  pump();
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    if (ev.kind == Kind::kTaskFinish) {
+      const int i = ev.id;
+      --remaining;
+      res.makespan = std::max(res.makespan, now);
+      // Release outbound messages / unblock same-processor successors.
+      for (const int ei : p.dup().out_edges(i)) {
+        const auto& e = p.dup().edges()[static_cast<std::size_t>(ei)];
+        if (!edge_active(e, s)) continue;
+        const auto ju = static_cast<std::size_t>(e.to);
+        --missing_preds[ju];
+        ready_at[ju] = std::max(ready_at[ju], now);
+        const int beta = s.proc[static_cast<std::size_t>(e.from)];
+        const int gamma = s.proc[ju];
+        if (beta != gamma) {
+          const int rho = s.rho(beta, gamma, n);
+          if (opts.link_contention) {
+            Flight f;
+            f.nodes = p.mesh().path_nodes(beta, gamma, rho);
+            flights[ei] = std::move(f);
+            events.push({now, Kind::kMsgHop, ei});
+          } else {
+            const double duration = e.bytes * p.mesh().time_per_byte(beta, gamma, rho);
+            // Destination delivers one inbound message at a time.
+            const double delivered = std::max(inbox_free[ju], now) + duration;
+            inbox_free[ju] = delivered;
+            events.push({delivered, Kind::kMsgDelivered, ei});
+          }
+        }
+      }
+    } else if (ev.kind == Kind::kMsgHop) {
+      // Contention mode: claim the next link of the path (store-and-forward);
+      // busy links serialize competing messages.
+      Flight& f = flights[ev.id];
+      const auto& e = p.dup().edges()[static_cast<std::size_t>(ev.id)];
+      if (f.hop + 1 >= f.nodes.size()) {
+        // Arrived at the destination router: deliver through the inbox.
+        const auto ju = static_cast<std::size_t>(e.to);
+        const double delivered = std::max(inbox_free[ju], now);
+        inbox_free[ju] = delivered;
+        events.push({delivered, Kind::kMsgDelivered, ev.id});
+      } else {
+        const int u = f.nodes[f.hop];
+        const int v = f.nodes[f.hop + 1];
+        const double duration = e.bytes * p.mesh().hop_latency_per_byte(u, v);
+        auto& busy = link_free[{u, v}];
+        const double done = std::max(busy, now) + duration;
+        busy = done;
+        ++f.hop;
+        events.push({done, Kind::kMsgHop, ev.id});
+      }
+    } else {
+      const auto& e = p.dup().edges()[static_cast<std::size_t>(ev.id)];
+      const auto ju = static_cast<std::size_t>(e.to);
+      --missing_msgs[ju];
+      ready_at[ju] = std::max(ready_at[ju], now);
+    }
+    pump();
+  }
+
+  res.completed = (remaining == 0);
+  if (!res.completed) {
+    std::ostringstream os;
+    os << remaining << " task(s) never became ready (dispatch order deadlock)";
+    res.anomalies.push_back(os.str());
+  }
+
+  // Cross-check against the analytic schedule: simulation must not be later.
+  res.horizon_met = true;
+  res.deadlines_met = true;
+  for (const int i : order) {
+    const auto iu = static_cast<std::size_t>(i);
+    if (!started[iu]) continue;
+    if (res.sim_end[iu] > p.horizon() + kTol) res.horizon_met = false;
+    if (res.sim_end[iu] - res.sim_start[iu] > p.dup().deadline(i) + kTol)
+      res.deadlines_met = false;
+    if (res.sim_start[iu] > s.start[iu] + kTol) {
+      res.max_lateness = std::max(res.max_lateness, res.sim_start[iu] - s.start[iu]);
+      ++res.late_tasks;
+      if (!opts.link_contention) {
+        std::ostringstream os;
+        os << "task " << i << " simulated start " << res.sim_start[iu]
+           << " exceeds analytic start " << s.start[iu];
+        res.anomalies.push_back(os.str());
+      }
+    }
+    if (res.sim_end[iu] > s.end[iu] + kTol && !opts.link_contention) {
+      std::ostringstream os;
+      os << "task " << i << " simulated end " << res.sim_end[iu]
+         << " exceeds analytic end " << s.end[iu];
+      res.anomalies.push_back(os.str());
+    }
+  }
+  return res;
+}
+
+}  // namespace nd::sim

@@ -1,0 +1,50 @@
+#include "sim/fault_injection.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "deploy/evaluate.hpp"
+
+namespace nd::sim {
+
+FaultCampaignResult run_fault_injection(const deploy::DeploymentProblem& p,
+                                        const deploy::DeploymentSolution& s, int trials,
+                                        std::uint64_t seed) {
+  ND_REQUIRE(trials > 0, "need at least one trial");
+  const int m = p.num_tasks();
+
+  // Per-copy fault probabilities at the assigned levels.
+  std::vector<double> fault_prob(static_cast<std::size_t>(p.num_total_tasks()), 1.0);
+  for (int i = 0; i < p.num_total_tasks(); ++i) {
+    if (s.exists[static_cast<std::size_t>(i)]) {
+      fault_prob[static_cast<std::size_t>(i)] = 1.0 - deploy::task_reliability(p, s, i);
+    }
+  }
+
+  Prng prng(seed);
+  FaultCampaignResult res;
+  res.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    bool mission_ok = true;
+    for (int i = 0; i < m && mission_ok; ++i) {
+      bool survived = !prng.bernoulli(fault_prob[static_cast<std::size_t>(i)]);
+      const int d = i + m;
+      if (!survived && s.exists[static_cast<std::size_t>(d)]) {
+        survived = !prng.bernoulli(fault_prob[static_cast<std::size_t>(d)]);
+      }
+      mission_ok = survived;
+    }
+    res.successes += mission_ok ? 1 : 0;
+  }
+  res.observed = static_cast<double>(res.successes) / trials;
+
+  res.predicted = 1.0;
+  for (int i = 0; i < m; ++i) res.predicted *= deploy::effective_reliability(p, s, i);
+  res.conf3sigma =
+      3.0 * std::sqrt(std::max(res.predicted * (1.0 - res.predicted), 1e-12) / trials);
+  return res;
+}
+
+}  // namespace nd::sim

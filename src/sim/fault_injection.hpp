@@ -1,0 +1,31 @@
+// Monte-Carlo transient-fault injection.
+//
+// Each trial executes the deployment once; every task copy independently
+// suffers a fault with probability 1 − r_il (the Poisson model evaluated at
+// its assigned level). An original task's function survives the trial if at
+// least one of its copies runs fault-free; the mission succeeds when every
+// original task survives. The observed success ratio is compared against the
+// analytic prediction Π_i r'_i, empirically validating eq. (5) end-to-end.
+#pragma once
+
+#include <cstdint>
+
+#include "deploy/problem.hpp"
+#include "deploy/solution.hpp"
+
+namespace nd::sim {
+
+struct FaultCampaignResult {
+  int trials = 0;
+  int successes = 0;
+  double observed = 0.0;   ///< successes / trials
+  double predicted = 0.0;  ///< Π_i effective_reliability(i)
+  /// Monte-Carlo 3σ half-width on `observed` (normal approximation).
+  double conf3sigma = 0.0;
+};
+
+FaultCampaignResult run_fault_injection(const deploy::DeploymentProblem& p,
+                                        const deploy::DeploymentSolution& s, int trials,
+                                        std::uint64_t seed);
+
+}  // namespace nd::sim

@@ -1,0 +1,65 @@
+#include "task/duplication.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace nd::task {
+
+DuplicatedTaskSet::DuplicatedTaskSet(const TaskGraph& original) : original_(&original) {
+  const int m = original.num_tasks();
+  ND_REQUIRE(m > 0, "empty task graph");
+  in_edges_.resize(static_cast<std::size_t>(2 * m));
+  out_edges_.resize(static_cast<std::size_t>(2 * m));
+
+  auto push = [&](int from, int to, double bytes, std::vector<int> gates) {
+    const int idx = static_cast<int>(edges_.size());
+    edges_.push_back({from, to, bytes, std::move(gates)});
+    out_edges_[static_cast<std::size_t>(from)].push_back(idx);
+    in_edges_[static_cast<std::size_t>(to)].push_back(idx);
+  };
+
+  for (const Edge& e : original.edges()) {
+    const int i = e.from, j = e.to;
+    push(i, j, e.bytes, {});
+    push(i + m, j, e.bytes, {i + m});
+    push(i, j + m, e.bytes, {j + m});
+    push(i + m, j + m, e.bytes, {i + m, j + m});
+  }
+}
+
+std::vector<int> DuplicatedTaskSet::layers() const {
+  const std::vector<int> base = original_->layers();
+  std::vector<int> out(static_cast<std::size_t>(num_total()));
+  for (int i = 0; i < num_total(); ++i)
+    out[static_cast<std::size_t>(i)] = base[static_cast<std::size_t>(original_of(i))];
+  return out;
+}
+
+bool DuplicatedTaskSet::depends(int a, int b, const std::vector<char>& exists) const {
+  ND_REQUIRE(static_cast<int>(exists.size()) == num_total(), "exists arity mismatch");
+  if (!exists[static_cast<std::size_t>(a)] || !exists[static_cast<std::size_t>(b)]) return false;
+  std::vector<char> seen(static_cast<std::size_t>(num_total()), 0);
+  std::vector<int> stack{a};
+  seen[static_cast<std::size_t>(a)] = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (const int ei : out_edges(u)) {
+      const DupEdge& e = edges_[static_cast<std::size_t>(ei)];
+      const bool active = exists[static_cast<std::size_t>(e.to)] &&
+                          std::all_of(e.gates.begin(), e.gates.end(), [&](int gate) {
+                            return exists[static_cast<std::size_t>(gate)] != 0;
+                          });
+      if (!active) continue;
+      if (e.to == b) return true;
+      if (!seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = 1;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace nd::task

@@ -1,0 +1,69 @@
+// Task-duplication transform of Fig. 1(c).
+//
+// Given M original tasks, the deployment works on an augmented set of 2M
+// tasks where τ_{i+M} is the copy of τ_i (same WCEC and deadline). Copies
+// inherit all dependencies of their original: an original edge i→j spawns
+//   i→j            (always present),
+//   i+M → j        (present iff copy i+M exists),
+//   i → j+M        (present iff copy j+M exists),
+//   i+M → j+M      (present iff both copies exist),
+// each carrying the same payload s_ij. Whether a copy exists is a decision
+// variable (h_{i+M}), so each edge records the copies that gate it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "task/task_graph.hpp"
+
+namespace nd::task {
+
+struct DupEdge {
+  int from = -1;
+  int to = -1;
+  double bytes = 0.0;
+  /// Duplicate-task indices (all >= M) that must exist for this edge to be
+  /// active; empty for original→original edges.
+  std::vector<int> gates;
+};
+
+class DuplicatedTaskSet {
+ public:
+  explicit DuplicatedTaskSet(const TaskGraph& original);
+
+  [[nodiscard]] const TaskGraph& original() const { return *original_; }
+  [[nodiscard]] int num_original() const { return original_->num_tasks(); }
+  [[nodiscard]] int num_total() const { return 2 * num_original(); }
+
+  [[nodiscard]] bool is_duplicate(int i) const { return i >= num_original(); }
+  [[nodiscard]] int original_of(int i) const { return i % num_original(); }
+  [[nodiscard]] int duplicate_of(int i) const { return original_of(i) + num_original(); }
+
+  [[nodiscard]] std::uint64_t wcec(int i) const { return original_->wcec(original_of(i)); }
+  [[nodiscard]] double deadline(int i) const { return original_->deadline(original_of(i)); }
+
+  [[nodiscard]] const std::vector<DupEdge>& edges() const { return edges_; }
+  /// Indices into edges() of edges entering task i.
+  [[nodiscard]] const std::vector<int>& in_edges(int i) const {
+    return in_edges_[static_cast<std::size_t>(i)];
+  }
+  /// Indices into edges() of edges leaving task i.
+  [[nodiscard]] const std::vector<int>& out_edges(int i) const {
+    return out_edges_[static_cast<std::size_t>(i)];
+  }
+
+  /// Layer of each of the 2M tasks; a copy shares its original's layer
+  /// (Fig. 1(c): τ_1 and τ_4 are both layer 0). Used by Algorithm 2.
+  [[nodiscard]] std::vector<int> layers() const;
+
+  /// True iff, restricted to active tasks (exists[i]), task `a` precedes `b`
+  /// through active edges. `exists` has num_total() entries.
+  [[nodiscard]] bool depends(int a, int b, const std::vector<char>& exists) const;
+
+ private:
+  const TaskGraph* original_;
+  std::vector<DupEdge> edges_;
+  std::vector<std::vector<int>> in_edges_, out_edges_;
+};
+
+}  // namespace nd::task

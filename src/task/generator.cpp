@@ -1,0 +1,59 @@
+#include "task/generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nd::task {
+
+TaskGraph generate_layered(Prng& prng, const GenParams& p) {
+  ND_REQUIRE(p.num_tasks >= 1, "need at least one task");
+  ND_REQUIRE(p.width >= 1, "layer width must be >= 1");
+  ND_REQUIRE(p.wcec_min > 0 && p.wcec_min <= p.wcec_max, "bad WCEC range");
+  ND_REQUIRE(p.bytes_min >= 0.0 && p.bytes_min <= p.bytes_max, "bad byte range");
+  ND_REQUIRE(p.deadline_slack > 0.0, "deadline slack must be positive");
+  ND_REQUIRE(p.f_min > 0.0, "f_min must be positive");
+
+  TaskGraph g;
+  std::vector<int> layer_of(static_cast<std::size_t>(p.num_tasks));
+  std::vector<std::vector<int>> members;
+  for (int i = 0; i < p.num_tasks; ++i) {
+    const auto wcec = static_cast<std::uint64_t>(
+        prng.uniform_int(static_cast<std::int64_t>(p.wcec_min),
+                         static_cast<std::int64_t>(p.wcec_max)));
+    const double deadline = p.deadline_slack * static_cast<double>(wcec) / p.f_min;
+    g.add_task(wcec, deadline);
+    const int layer = i / p.width;
+    layer_of[static_cast<std::size_t>(i)] = layer;
+    if (static_cast<int>(members.size()) <= layer) members.emplace_back();
+    members[static_cast<std::size_t>(layer)].push_back(i);
+  }
+
+  auto rand_bytes = [&] { return prng.uniform(p.bytes_min, p.bytes_max); };
+
+  // Every non-source task gets at least one predecessor from the previous
+  // layer, then extra cross-layer edges are sprinkled with edge_prob
+  // (halved per layer of distance).
+  for (std::size_t layer = 1; layer < members.size(); ++layer) {
+    for (const int i : members[layer]) {
+      const auto& prev = members[layer - 1];
+      const int pick = prev[static_cast<std::size_t>(
+          prng.uniform_int(0, static_cast<std::int64_t>(prev.size()) - 1))];
+      g.add_edge(pick, i, rand_bytes());
+    }
+  }
+  for (std::size_t la = 0; la + 1 < members.size(); ++la) {
+    for (std::size_t lb = la + 1; lb < members.size(); ++lb) {
+      const double prob = p.edge_prob / static_cast<double>(1u << std::min<std::size_t>(lb - la - 1, 16));
+      for (const int i : members[la]) {
+        for (const int j : members[lb]) {
+          if (!g.has_edge(i, j) && prng.bernoulli(prob)) g.add_edge(i, j, rand_bytes());
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace nd::task

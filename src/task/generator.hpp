@@ -1,0 +1,36 @@
+// TGFF-style layered random DAG generator for the evaluation workloads.
+//
+// The paper evaluates on randomly generated task graphs (n_a = 30 graphs per
+// point in Fig. 2(h)); TGFF is the de-facto generator in this literature.
+// We generate a layered DAG: tasks are spread over ceil(M / width) layers and
+// edges connect earlier layers to later ones with probability `edge_prob`
+// (adjacent layers are favoured), guaranteeing at least one predecessor for
+// every non-source task so the graph is connected enough to exercise the NoC.
+#pragma once
+
+#include <cstdint>
+
+#include "common/prng.hpp"
+#include "task/task_graph.hpp"
+
+namespace nd::task {
+
+struct GenParams {
+  int num_tasks = 20;
+  int width = 4;                   ///< max tasks per layer
+  double edge_prob = 0.3;          ///< extra-edge probability between layers
+  std::uint64_t wcec_min = 4.0e8;  ///< cycles (≈0.13–1 s at 1–3 GHz)
+  std::uint64_t wcec_max = 2.0e9;
+  double bytes_min = 1.0e6;  ///< 1–8 MB payloads (frame-scale data) so that
+  double bytes_max = 8.0e6;  ///< NoC energy is a meaningful share of total
+
+  double deadline_slack = 1.6;     ///< D_i = slack · C_i / f_min  (>1 keeps the
+                                   ///< slowest level feasible; <1 forces DVFS up)
+  double f_min = 1.0e9;            ///< frequency used in the deadline rule
+};
+
+/// Generate a random layered DAG. Deterministic for a given (params, prng
+/// state) pair.
+TaskGraph generate_layered(Prng& prng, const GenParams& params);
+
+}  // namespace nd::task

@@ -1,0 +1,122 @@
+#include "task/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace nd::task {
+
+int TaskGraph::add_task(std::uint64_t wcec, double deadline) {
+  ND_REQUIRE(wcec > 0, "WCEC must be positive");
+  ND_REQUIRE(deadline > 0.0, "deadline must be positive");
+  wcec_.push_back(wcec);
+  deadline_.push_back(deadline);
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return num_tasks() - 1;
+}
+
+void TaskGraph::add_edge(int from, int to, double bytes) {
+  ND_REQUIRE(from >= 0 && from < num_tasks(), "edge source out of range");
+  ND_REQUIRE(to >= 0 && to < num_tasks(), "edge target out of range");
+  ND_REQUIRE(from != to, "self loops are not allowed");
+  ND_REQUIRE(bytes >= 0.0, "data size must be non-negative");
+  ND_REQUIRE(!has_edge(from, to), "duplicate edge");
+  ND_REQUIRE(!reaches(to, from), "edge would create a cycle");
+  edges_.push_back({from, to, bytes});
+  succ_[static_cast<std::size_t>(from)].push_back(to);
+  pred_[static_cast<std::size_t>(to)].push_back(from);
+}
+
+bool TaskGraph::has_edge(int from, int to) const {
+  const auto& s = succ_[static_cast<std::size_t>(from)];
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+double TaskGraph::bytes(int from, int to) const {
+  for (const Edge& e : edges_) {
+    if (e.from == from && e.to == to) return e.bytes;
+  }
+  return 0.0;
+}
+
+std::vector<int> TaskGraph::topo_order() const {
+  const int n = num_tasks();
+  std::vector<int> indeg(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) indeg[static_cast<std::size_t>(i)] = in_degree(i);
+  // Min-heap on index gives a deterministic order.
+  std::priority_queue<int, std::vector<int>, std::greater<>> ready;
+  for (int i = 0; i < n; ++i)
+    if (indeg[static_cast<std::size_t>(i)] == 0) ready.push(i);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const int i = ready.top();
+    ready.pop();
+    order.push_back(i);
+    for (const int j : successors(i)) {
+      if (--indeg[static_cast<std::size_t>(j)] == 0) ready.push(j);
+    }
+  }
+  ND_ASSERT(static_cast<int>(order.size()) == n, "graph contains a cycle");
+  return order;
+}
+
+std::vector<int> TaskGraph::layers() const {
+  std::vector<int> layer(static_cast<std::size_t>(num_tasks()), 0);
+  for (const int i : topo_order()) {
+    for (const int p : predecessors(i)) {
+      layer[static_cast<std::size_t>(i)] =
+          std::max(layer[static_cast<std::size_t>(i)], layer[static_cast<std::size_t>(p)] + 1);
+    }
+  }
+  return layer;
+}
+
+std::vector<int> TaskGraph::critical_path(const std::vector<double>& node_cost,
+                                          double edge_cost) const {
+  ND_REQUIRE(static_cast<int>(node_cost.size()) == num_tasks(), "node_cost arity mismatch");
+  const int n = num_tasks();
+  std::vector<double> dist(static_cast<std::size_t>(n));
+  std::vector<int> from(static_cast<std::size_t>(n), -1);
+  for (const int i : topo_order()) {
+    dist[static_cast<std::size_t>(i)] = node_cost[static_cast<std::size_t>(i)];
+    for (const int p : predecessors(i)) {
+      const double cand = dist[static_cast<std::size_t>(p)] + edge_cost +
+                          node_cost[static_cast<std::size_t>(i)];
+      if (cand > dist[static_cast<std::size_t>(i)]) {
+        dist[static_cast<std::size_t>(i)] = cand;
+        from[static_cast<std::size_t>(i)] = p;
+      }
+    }
+  }
+  int tail = 0;
+  for (int i = 1; i < n; ++i)
+    if (dist[static_cast<std::size_t>(i)] > dist[static_cast<std::size_t>(tail)]) tail = i;
+  std::vector<int> path;
+  for (int i = tail; i >= 0; i = from[static_cast<std::size_t>(i)]) path.push_back(i);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool TaskGraph::reaches(int from, int to) const {
+  if (from == to) return true;
+  std::vector<char> seen(static_cast<std::size_t>(num_tasks()), 0);
+  std::vector<int> stack{from};
+  seen[static_cast<std::size_t>(from)] = 1;
+  while (!stack.empty()) {
+    const int i = stack.back();
+    stack.pop_back();
+    for (const int j : successors(i)) {
+      if (j == to) return true;
+      if (!seen[static_cast<std::size_t>(j)]) {
+        seen[static_cast<std::size_t>(j)] = 1;
+        stack.push_back(j);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace nd::task

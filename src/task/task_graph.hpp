@@ -1,0 +1,72 @@
+// Dependent periodic task sets (§II-A.1): each task τ_i carries a WCEC C_i, a
+// relative deadline D_i, and weighted dependency edges s_ij (bytes produced
+// for each successor). All tasks are released at time 0 and share a common
+// scheduling horizon H (held by the deployment problem, not here).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nd::task {
+
+struct Edge {
+  int from = -1;
+  int to = -1;
+  double bytes = 0.0;  ///< data volume s_ij transmitted from → to
+};
+
+class TaskGraph {
+ public:
+  /// Add a task; returns its index. `wcec` in cycles, `deadline` in seconds
+  /// (relative deadline D_i on the task's own execution time, eq. (8)).
+  int add_task(std::uint64_t wcec, double deadline);
+
+  /// Add dependency τ_from → τ_to carrying `bytes` of data. Rejects self
+  /// loops, duplicate edges, and edges that would close a cycle.
+  void add_edge(int from, int to, double bytes);
+
+  [[nodiscard]] int num_tasks() const { return static_cast<int>(wcec_.size()); }
+  [[nodiscard]] std::uint64_t wcec(int i) const { return wcec_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] double deadline(int i) const { return deadline_[static_cast<std::size_t>(i)]; }
+
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<int>& successors(int i) const {
+    return succ_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const std::vector<int>& predecessors(int i) const {
+    return pred_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] bool has_edge(int from, int to) const;
+  /// Bytes on edge from→to; 0 when no edge exists.
+  [[nodiscard]] double bytes(int from, int to) const;
+
+  [[nodiscard]] int in_degree(int i) const {
+    return static_cast<int>(pred_[static_cast<std::size_t>(i)].size());
+  }
+  [[nodiscard]] int out_degree(int i) const {
+    return static_cast<int>(succ_[static_cast<std::size_t>(i)].size());
+  }
+
+  /// Topological order (stable: ties resolved by task index).
+  [[nodiscard]] std::vector<int> topo_order() const;
+
+  /// Layer of each task = length of the longest predecessor chain (layer 0 =
+  /// sources). This is the layering used by heuristic Algorithm 2.
+  [[nodiscard]] std::vector<int> layers() const;
+
+  /// Tasks on a critical path when task i costs `node_cost[i]` and every
+  /// edge costs `edge_cost` — used for the horizon rule H = α·Σ_CP(...).
+  [[nodiscard]] std::vector<int> critical_path(const std::vector<double>& node_cost,
+                                               double edge_cost) const;
+
+  /// True iff `to` is reachable from `from` following edges.
+  [[nodiscard]] bool reaches(int from, int to) const;
+
+ private:
+  std::vector<std::uint64_t> wcec_;
+  std::vector<double> deadline_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> succ_, pred_;
+};
+
+}  // namespace nd::task

@@ -1,0 +1,121 @@
+#include "task/workloads.hpp"
+
+namespace nd::task {
+
+TaskGraph workload_automotive_acc() {
+  TaskGraph g;
+  const int camera = g.add_task(1.6e9, 1.0);
+  const int radar = g.add_task(6.0e8, 0.6);
+  const int lidar = g.add_task(9.0e8, 0.8);
+  const int cam_detect = g.add_task(1.2e9, 1.0);
+  const int radar_track = g.add_task(4.0e8, 0.6);
+  const int lidar_cluster = g.add_task(7.0e8, 0.8);
+  const int fusion = g.add_task(8.0e8, 0.8);
+  const int ego_motion = g.add_task(3.0e8, 0.5);
+  const int prediction = g.add_task(5.0e8, 0.7);
+  const int planner = g.add_task(9.0e8, 0.9);
+  const int controller = g.add_task(2.5e8, 0.4);
+  const int actuation = g.add_task(1.0e8, 0.3);
+  g.add_edge(camera, cam_detect, 6.0e6);
+  g.add_edge(radar, radar_track, 8.0e5);
+  g.add_edge(lidar, lidar_cluster, 3.0e6);
+  g.add_edge(cam_detect, fusion, 1.0e6);
+  g.add_edge(radar_track, fusion, 4.0e5);
+  g.add_edge(lidar_cluster, fusion, 1.5e6);
+  g.add_edge(camera, ego_motion, 2.0e6);
+  g.add_edge(ego_motion, fusion, 3.0e5);
+  g.add_edge(fusion, prediction, 8.0e5);
+  g.add_edge(prediction, planner, 6.0e5);
+  g.add_edge(fusion, planner, 5.0e5);
+  g.add_edge(planner, controller, 2.0e5);
+  g.add_edge(controller, actuation, 1.0e5);
+  return g;
+}
+
+TaskGraph workload_video_pipeline() {
+  TaskGraph g;
+  const int capture = g.add_task(4.0e8, 0.45);
+  std::vector<int> enc;
+  for (int s = 0; s < 4; ++s) enc.push_back(g.add_task(1.1e9, 1.2));
+  const int stitch = g.add_task(5.0e8, 0.55);
+  const int analyze = g.add_task(1.4e9, 1.5);
+  const int overlay = g.add_task(3.0e8, 0.35);
+  const int emit = g.add_task(2.0e8, 0.25);
+  for (const int e : enc) {
+    g.add_edge(capture, e, 2.5e6);
+    g.add_edge(e, stitch, 1.0e6);
+  }
+  g.add_edge(stitch, analyze, 3.0e6);
+  g.add_edge(analyze, overlay, 5.0e5);
+  g.add_edge(stitch, overlay, 8.0e5);
+  g.add_edge(overlay, emit, 1.2e6);
+  return g;
+}
+
+TaskGraph workload_avionics_voting() {
+  TaskGraph g;
+  // Three redundant sensor → filter chains.
+  std::vector<int> sensors, filters;
+  for (int lane = 0; lane < 3; ++lane) {
+    sensors.push_back(g.add_task(2.0e8, 0.25));
+    filters.push_back(g.add_task(3.5e8, 0.40));
+    g.add_edge(sensors.back(), filters.back(), 2.0e5);
+  }
+  const int voter = g.add_task(1.5e8, 0.20);
+  for (const int f : filters) g.add_edge(f, voter, 1.0e5);
+  const int state_est = g.add_task(6.0e8, 0.65);
+  g.add_edge(voter, state_est, 1.5e5);
+  const int ctl_law = g.add_task(4.5e8, 0.50);
+  g.add_edge(state_est, ctl_law, 1.0e5);
+  const int surface_a = g.add_task(1.0e8, 0.15);
+  const int surface_b = g.add_task(1.0e8, 0.15);
+  g.add_edge(ctl_law, surface_a, 5.0e4);
+  g.add_edge(ctl_law, surface_b, 5.0e4);
+  const int health_mon = g.add_task(2.5e8, 0.30);
+  g.add_edge(voter, health_mon, 8.0e4);
+  const int telemetry = g.add_task(1.2e8, 0.20);
+  g.add_edge(health_mon, telemetry, 1.2e5);
+  return g;
+}
+
+TaskGraph workload_telecom_dataplane() {
+  TaskGraph g;
+  const int rx = g.add_task(3.0e8, 0.35);
+  std::vector<int> classify;
+  for (int q = 0; q < 4; ++q) {
+    classify.push_back(g.add_task(4.0e8, 0.45));
+    g.add_edge(rx, classify.back(), 4.0e6);
+  }
+  std::vector<int> dpi;
+  for (int q = 0; q < 4; ++q) {
+    dpi.push_back(g.add_task(9.0e8, 1.0));
+    g.add_edge(classify[static_cast<std::size_t>(q)], dpi.back(), 3.5e6);
+  }
+  const int meter = g.add_task(2.5e8, 0.30);
+  for (const int d : dpi) g.add_edge(d, meter, 8.0e5);
+  const int shaper = g.add_task(3.5e8, 0.40);
+  g.add_edge(meter, shaper, 2.0e6);
+  std::vector<int> tx;
+  for (int q = 0; q < 4; ++q) {
+    tx.push_back(g.add_task(1.5e8, 0.20));
+    g.add_edge(shaper, tx.back(), 1.5e6);
+  }
+  const int stats = g.add_task(2.0e8, 0.30);
+  g.add_edge(meter, stats, 3.0e5);
+  return g;
+}
+
+std::vector<NamedWorkload> all_workloads() {
+  std::vector<NamedWorkload> out;
+  out.push_back({"automotive_acc", "adaptive cruise control: sense-fuse-plan-actuate",
+                 workload_automotive_acc()});
+  out.push_back({"video_pipeline", "frame capture, 4-way slice encode, analyze, emit",
+                 workload_video_pipeline()});
+  out.push_back({"avionics_voting", "triple-redundant sensing voted into a control law",
+                 workload_avionics_voting()});
+  out.push_back({"telecom_dataplane", "wide packet-processing pipeline, comm-heavy",
+                 workload_telecom_dataplane()});
+  return out;
+}
+
+}  // namespace nd::task

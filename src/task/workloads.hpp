@@ -1,0 +1,44 @@
+// Named, embedded benchmark workloads.
+//
+// Hand-modelled task graphs for the application domains that motivate the
+// paper (safety-critical automotive, streaming video, avionics partitions,
+// telecom packet processing). Cycle counts and payloads are order-of-
+// magnitude realistic for embedded multicore firmware; they give examples,
+// tests and benches a shared, stable set of non-random instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "task/task_graph.hpp"
+
+namespace nd::task {
+
+struct NamedWorkload {
+  std::string name;
+  std::string description;
+  TaskGraph graph;
+};
+
+/// 12-task adaptive-cruise-control pipeline (sensing → fusion → planning →
+/// actuation). Matches examples/automotive_pipeline.cpp.
+TaskGraph workload_automotive_acc();
+
+/// 9-task video-analytics pipeline (capture → 4-way slice encode → stitch →
+/// analyze → overlay → emit) with frame-scale payloads.
+TaskGraph workload_video_pipeline();
+
+/// 13-task avionics sensor-voting workload: triple-redundant sensor chains
+/// voted into a control law — deep precedence, small payloads, tight
+/// deadlines.
+TaskGraph workload_avionics_voting();
+
+/// 16-task telecom packet-processing graph: parallel flow classifiers
+/// feeding DPI, metering, shaping and egress stages — wide and
+/// communication-heavy.
+TaskGraph workload_telecom_dataplane();
+
+/// All named workloads (for parameterized tests and benches).
+std::vector<NamedWorkload> all_workloads();
+
+}  // namespace nd::task

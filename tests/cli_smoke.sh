@@ -1,0 +1,37 @@
+#!/bin/sh
+# End-to-end smoke test of the nocdeploy CLI: generate → solve (heuristic and
+# annealing) → validate → simulate, all through the JSON interface.
+# Usage: cli_smoke.sh <path-to-nocdeploy-cli>
+set -e
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" gen --tasks 6 --rows 2 --cols 2 --alpha 2.5 --seed 11 -o "$DIR/prob.json"
+test -s "$DIR/prob.json"
+
+"$CLI" solve --problem "$DIR/prob.json" --method heuristic -o "$DIR/sol.json" \
+  --gantt --dot "$DIR/dep.dot" | grep -q "valid"
+test -s "$DIR/sol.json"
+grep -q "digraph" "$DIR/dep.dot"
+
+"$CLI" validate --problem "$DIR/prob.json" --solution "$DIR/sol.json" | grep -q "^valid$"
+
+"$CLI" simulate --problem "$DIR/prob.json" --solution "$DIR/sol.json" --trials 5000 \
+  | grep -q "event simulation: clean"
+
+"$CLI" solve --problem "$DIR/prob.json" --method annealing --iters 2000 \
+  -o "$DIR/sol_sa.json" | grep -q "valid"
+"$CLI" validate --problem "$DIR/prob.json" --solution "$DIR/sol_sa.json" | grep -q "^valid$"
+
+# Error paths: bad file and usage errors must not return success.
+if "$CLI" validate --problem /nonexistent.json --solution "$DIR/sol.json" 2>/dev/null; then
+  echo "expected failure on missing problem file" >&2
+  exit 1
+fi
+if "$CLI" frobnicate 2>/dev/null; then
+  echo "expected usage error" >&2
+  exit 1
+fi
+
+echo "cli smoke OK"

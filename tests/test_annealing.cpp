@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "deploy/evaluate.hpp"
+#include "deploy/validate.hpp"
+#include "heuristic/annealing.hpp"
+#include "heuristic/phases.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using nd::heuristic::AnnealOptions;
+using nd::heuristic::solve_annealing;
+using nd::test::tiny_problem;
+using nd::test::TinySpec;
+
+TEST(Annealing, ProducesValidDeployment) {
+  auto p = tiny_problem(TinySpec{});
+  AnnealOptions opt;
+  opt.iterations = 5000;
+  const auto res = solve_annealing(*p, opt);
+  ASSERT_TRUE(res.feasible);
+  // SA never reports the paper's strict (4)-equivalence (it may duplicate
+  // only when required, which it does by construction) — strict mode holds.
+  const auto val = nd::deploy::validate(*p, res.solution);
+  EXPECT_TRUE(val.ok()) << val.summary();
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  auto p = tiny_problem(TinySpec{});
+  AnnealOptions opt;
+  opt.iterations = 3000;
+  opt.seed = 9;
+  const auto a = solve_annealing(*p, opt);
+  const auto b = solve_annealing(*p, opt);
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.solution.proc, b.solution.proc);
+  EXPECT_EQ(a.solution.level, b.solution.level);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(Annealing, NeverWorseThanItsSeedHeuristic) {
+  // SA starts from the decomposition heuristic's deployment; its tracked
+  // best-feasible state can only improve on it.
+  auto p = tiny_problem(TinySpec{});
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible);
+  const double e_h = nd::deploy::evaluate_energy(*p, h.solution).max_proc();
+  AnnealOptions opt;
+  opt.iterations = 8000;
+  const auto res = solve_annealing(*p, opt);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_LE(res.objective, e_h + 1e-9);
+}
+
+TEST(Annealing, MoreIterationsNeverHurt) {
+  auto p = tiny_problem(TinySpec{});
+  AnnealOptions short_run;
+  short_run.iterations = 500;
+  AnnealOptions long_run;
+  long_run.iterations = 10000;
+  const auto a = solve_annealing(*p, short_run);
+  const auto b = solve_annealing(*p, long_run);
+  if (a.feasible && b.feasible) {
+    // Same seed: the long run extends the short one's trajectory... not
+    // exactly (temperature schedule differs per-iteration), so compare
+    // best-feasible objective loosely: the long run should not be more than
+    // marginally worse.
+    EXPECT_LE(b.objective, a.objective * 1.05);
+  }
+}
+
+TEST(Annealing, HandlesDuplicationHeavyInstances) {
+  auto spec = TinySpec{};
+  spec.lambda0 = 5e-5;
+  auto p = tiny_problem(spec);
+  AnnealOptions opt;
+  opt.iterations = 6000;
+  const auto res = solve_annealing(*p, opt);
+  if (res.feasible) {
+    const auto val = nd::deploy::validate(*p, res.solution);
+    EXPECT_TRUE(val.ok()) << val.summary();
+    for (int i = 0; i < p->num_tasks(); ++i) {
+      EXPECT_GE(nd::deploy::effective_reliability(*p, res.solution, i), p->r_th() - 1e-12);
+    }
+  }
+}
+
+class AnnealSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnealSweep, FeasibleResultsAlwaysValidate) {
+  auto spec = TinySpec{};
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 17 + 3;
+  spec.num_tasks = 3 + GetParam() % 5;
+  spec.lambda0 = (GetParam() % 2 == 0) ? 5e-5 : 2e-6;
+  auto p = tiny_problem(spec);
+  AnnealOptions opt;
+  opt.iterations = 3000;
+  opt.seed = spec.seed;
+  const auto res = solve_annealing(*p, opt);
+  if (!res.feasible) {
+    SUCCEED();
+    return;
+  }
+  const auto val = nd::deploy::validate(*p, res.solution);
+  EXPECT_TRUE(val.ok()) << "seed " << GetParam() << ": " << val.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AnnealSweep, ::testing::Range(0, 12));
+
+}  // namespace

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+TEST(Prng, Deterministic) {
+  nd::Prng a(42);
+  nd::Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  nd::Prng a(1);
+  nd::Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  nd::Prng g(7);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = g.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+}
+
+TEST(Prng, UniformIntCoversRangeInclusive) {
+  nd::Prng g(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = g.uniform_int(3, 8);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Prng, UniformIntDegenerateRange) {
+  nd::Prng g(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(g.uniform_int(5, 5), 5);
+}
+
+TEST(Prng, ExponentialMeanMatchesRate) {
+  nd::Prng g(11);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += g.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(Prng, BernoulliFrequency) {
+  nd::Prng g(13);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += g.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Prng, ShufflePreservesElements) {
+  nd::Prng g(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  g.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Prng, SplitProducesIndependentStream) {
+  nd::Prng g(21);
+  nd::Prng child = g.split();
+  EXPECT_NE(g(), child());
+}
+
+TEST(Table, AsciiAlignment) {
+  nd::Table t({"alpha", "e"});
+  t.add_row({"0.1", "12.5"});
+  t.add_row({"0.25", "3.75"});
+  const std::string s = t.to_ascii();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvPrefixAndTag) {
+  nd::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_csv("fig2a");
+  EXPECT_EQ(s.rfind("csv,fig2a,a,b", 0), 0u);
+  EXPECT_NE(s.find("csv,fig2a,1,2"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  nd::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(nd::fmt_f(1.23456, 2), "1.23");
+  EXPECT_EQ(nd::fmt_i(-42), "-42");
+  EXPECT_NE(nd::fmt_e(1234.5, 2).find("e+"), std::string::npos);
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(ND_REQUIRE(false, "nope"), std::invalid_argument);
+  EXPECT_NO_THROW(ND_REQUIRE(true, "fine"));
+}
+
+TEST(Check, AssertThrowsLogicError) {
+  EXPECT_THROW(ND_ASSERT(false, "bug"), std::logic_error);
+}
+
+TEST(Stats, SummaryValues) {
+  nd::Stats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-5);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.5);
+}
+
+TEST(Stats, MedianOddCount) {
+  nd::Stats s;
+  for (const double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Stats, EdgeCases) {
+  nd::Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(static_cast<void>(s.mean()), std::invalid_argument);
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  nd::Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.restart();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace

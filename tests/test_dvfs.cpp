@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dvfs/vf_table.hpp"
+
+namespace {
+
+using nd::dvfs::PowerParams;
+using nd::dvfs::VfLevel;
+using nd::dvfs::VfTable;
+
+TEST(VfTable, Typical6Shape) {
+  const VfTable t = VfTable::typical6();
+  ASSERT_EQ(t.num_levels(), 6);
+  EXPECT_DOUBLE_EQ(t.f_min(), 1.0e9);
+  EXPECT_DOUBLE_EQ(t.f_max(), 3.0e9);
+  for (int l = 1; l < 6; ++l) {
+    EXPECT_GT(t.level(l).freq, t.level(l - 1).freq);
+    EXPECT_GT(t.level(l).voltage, t.level(l - 1).voltage);
+  }
+}
+
+TEST(VfTable, PowerIsPositiveAndMonotoneInLevel) {
+  const VfTable t = VfTable::typical6();
+  double prev = 0.0;
+  for (int l = 0; l < t.num_levels(); ++l) {
+    const double p = t.power(l);
+    EXPECT_GT(p, 0.0);
+    EXPECT_GT(p, prev) << "power must grow with (v, f)";
+    prev = p;
+  }
+}
+
+TEST(VfTable, DynamicPowerQuadraticInVoltageLinearInFreq) {
+  const VfTable t = VfTable::typical6();
+  const double base = t.dynamic_power(1.0, 1.0e9);
+  EXPECT_NEAR(t.dynamic_power(2.0, 1.0e9), 4.0 * base, 1e-12 * base);
+  EXPECT_NEAR(t.dynamic_power(1.0, 2.0e9), 2.0 * base, 1e-12 * base);
+}
+
+TEST(VfTable, StaticPowerMatchesClosedForm) {
+  PowerParams p;
+  const VfTable t({{1.0, 1.0e9}}, p);
+  const double expected =
+      p.lg * (1.0 * p.k1 * std::exp(p.k2 * 1.0) * std::exp(p.k3 * p.v_bb) +
+              std::abs(p.v_bb) * p.i_b);
+  EXPECT_NEAR(t.static_power(1.0), expected, 1e-18);
+}
+
+TEST(VfTable, StaticPowerIsRealisticFraction) {
+  // Leakage should be a noticeable but minority share at the top level.
+  const VfTable t = VfTable::typical6();
+  const int top = t.num_levels() - 1;
+  const double frac = t.static_power(t.level(top).voltage) / t.power(top);
+  EXPECT_GT(frac, 0.01);
+  EXPECT_LT(frac, 0.5);
+}
+
+TEST(VfTable, ExecTimeInverseInFrequency) {
+  const VfTable t = VfTable::typical6();
+  EXPECT_DOUBLE_EQ(t.exec_time(3'000'000'000ull, 5), 1.0);  // 3e9 cycles @ 3 GHz
+  EXPECT_DOUBLE_EQ(t.exec_time(1'000'000'000ull, 0), 1.0);  // 1e9 cycles @ 1 GHz
+}
+
+TEST(VfTable, EnergyEqualsPowerTimesTime) {
+  const VfTable t = VfTable::typical6();
+  for (int l = 0; l < t.num_levels(); ++l) {
+    EXPECT_NEAR(t.energy(2'000'000'000ull, l),
+                t.power(l) * t.exec_time(2'000'000'000ull, l), 1e-12);
+  }
+}
+
+TEST(VfTable, LowLevelSavesEnergyPerCycle) {
+  // The premise of DVFS: energy per cycle is lower at the lower level.
+  const VfTable t = VfTable::typical6();
+  const double low = t.energy(1'000'000'000ull, 0);
+  const double high = t.energy(1'000'000'000ull, t.num_levels() - 1);
+  EXPECT_LT(low, high);
+}
+
+TEST(VfTable, EpsGrowsWithVoltageSpread) {
+  const double e1 = VfTable::with_spread(6, 0.6).energy_gap_eps();
+  const double e2 = VfTable::with_spread(6, 1.0).energy_gap_eps();
+  const double e3 = VfTable::with_spread(6, 1.5).energy_gap_eps();
+  EXPECT_GT(e2, e1);
+  EXPECT_GT(e3, e2);
+  EXPECT_GE(e1, 1.0);
+}
+
+TEST(VfTable, RejectsBadTables) {
+  EXPECT_THROW(VfTable({}), std::invalid_argument);
+  EXPECT_THROW(VfTable({{1.0, 2.0e9}, {1.1, 1.0e9}}), std::invalid_argument);  // freq not increasing
+  EXPECT_THROW(VfTable({{-1.0, 1.0e9}}), std::invalid_argument);
+}
+
+class SpreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpreadSweep, TablesAreWellFormed) {
+  const double spread = 0.4 + 0.2 * GetParam();
+  const VfTable t = VfTable::with_spread(6, spread);
+  ASSERT_EQ(t.num_levels(), 6);
+  for (int l = 0; l < 6; ++l) {
+    EXPECT_GT(t.level(l).voltage, 0.0);
+    EXPECT_GT(t.power(l), 0.0);
+  }
+  EXPECT_GE(t.energy_gap_eps(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpreadSweep, ::testing::Range(0, 8));
+
+}  // namespace

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/evaluate.hpp"  // comm_time_into in properties
+#include "deploy/validate.hpp"
+#include "heuristic/phases.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using nd::deploy::DeploymentSolution;
+using nd::heuristic::HeuristicOptions;
+using nd::heuristic::solve_heuristic;
+using nd::test::tiny_problem;
+using nd::test::TinySpec;
+
+TEST(Phase1, AssignsDeadlineFeasibleLevels) {
+  auto spec = TinySpec{};
+  spec.deadline_slack = 0.8;  // slowest level infeasible → must scale up
+  auto p = tiny_problem(spec);
+  auto s = DeploymentSolution::empty(*p);
+  std::string why;
+  ASSERT_TRUE(nd::heuristic::phase1_frequency_and_duplication(*p, s, &why)) << why;
+  for (int i = 0; i < p->num_tasks(); ++i) {
+    const int l = s.level[static_cast<std::size_t>(i)];
+    ASSERT_GE(l, 0);
+    EXPECT_LE(p->vf().exec_time(p->dup().wcec(i), l), p->dup().deadline(i) + 1e-12);
+  }
+}
+
+TEST(Phase1, DuplicationMatchesThresholdRule) {
+  auto spec = TinySpec{};
+  spec.lambda0 = 5e-5;  // middle ground: some levels reliable, some not
+  auto p = tiny_problem(spec);
+  auto s = DeploymentSolution::empty(*p);
+  ASSERT_TRUE(nd::heuristic::phase1_frequency_and_duplication(*p, s));
+  for (int i = 0; i < p->num_tasks(); ++i) {
+    const double r =
+        p->fault().task_reliability(p->dup().wcec(i), s.level[static_cast<std::size_t>(i)]);
+    const bool dup = s.exists[static_cast<std::size_t>(i + p->num_tasks())] != 0;
+    EXPECT_EQ(dup, r < p->r_th()) << "task " << i;
+    if (dup) {
+      const int ld = s.level[static_cast<std::size_t>(i + p->num_tasks())];
+      ASSERT_GE(ld, 0);
+      const double rd = p->fault().task_reliability(p->dup().wcec(i), ld);
+      EXPECT_GE(nd::reliability::FaultModel::duplicated(r, rd), p->r_th());
+    }
+  }
+}
+
+TEST(Phase1, InfeasibleWhenDeadlineImpossible) {
+  auto spec = TinySpec{};
+  spec.deadline_slack = 0.05;  // even the fastest level misses the deadline
+  auto p = tiny_problem(spec);
+  auto s = DeploymentSolution::empty(*p);
+  std::string why;
+  EXPECT_FALSE(nd::heuristic::phase1_frequency_and_duplication(*p, s, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(Phase2, AllTasksPlaced) {
+  auto p = tiny_problem(TinySpec{});
+  auto s = DeploymentSolution::empty(*p);
+  ASSERT_TRUE(nd::heuristic::phase1_frequency_and_duplication(*p, s));
+  ASSERT_TRUE(nd::heuristic::phase2_allocation_and_scheduling(*p, s));
+  for (int i = 0; i < p->num_total_tasks(); ++i) {
+    if (!s.exists[static_cast<std::size_t>(i)]) continue;
+    EXPECT_GE(s.proc[static_cast<std::size_t>(i)], 0);
+    EXPECT_LT(s.proc[static_cast<std::size_t>(i)], p->num_procs());
+  }
+}
+
+TEST(Phase2, BalancesLoadAcrossProcessors) {
+  // Many equal tasks, no edges: greedy min-max must spread them evenly.
+  nd::task::TaskGraph g;
+  for (int i = 0; i < 8; ++i) g.add_task(1'000'000'000ull, 10.0);
+  nd::noc::MeshParams mesh;
+  mesh.rows = 2;
+  mesh.cols = 2;
+  nd::deploy::DeploymentProblem p(std::move(g), mesh, nd::dvfs::VfTable::typical6(),
+                                  nd::reliability::FaultParams{1e-9, 1.0}, 0.9, 100.0);
+  auto s = DeploymentSolution::empty(p);
+  ASSERT_TRUE(nd::heuristic::phase1_frequency_and_duplication(p, s));
+  ASSERT_TRUE(nd::heuristic::phase2_allocation_and_scheduling(p, s));
+  EXPECT_EQ(s.max_tasks_per_proc(p.num_procs()), 2);
+}
+
+TEST(Phase3, PicksFeasiblePaths) {
+  auto p = tiny_problem(TinySpec{});
+  auto s = DeploymentSolution::empty(*p);
+  ASSERT_TRUE(nd::heuristic::phase1_frequency_and_duplication(*p, s));
+  ASSERT_TRUE(nd::heuristic::phase2_allocation_and_scheduling(*p, s));
+  std::string why;
+  ASSERT_TRUE(nd::heuristic::phase3_path_selection(*p, s, &why)) << why;
+  for (int b = 0; b < p->num_procs(); ++b) {
+    for (int g = 0; g < p->num_procs(); ++g) {
+      if (b == g) continue;
+      const int rho = s.rho(b, g, p->num_procs());
+      EXPECT_TRUE(rho == 0 || rho == 1);
+    }
+  }
+}
+
+TEST(Heuristic, FullPipelineProducesValidDeployment) {
+  auto p = tiny_problem(TinySpec{});
+  const auto res = solve_heuristic(*p);
+  ASSERT_TRUE(res.feasible) << res.why;
+  const auto val = nd::deploy::validate(*p, res.solution);
+  EXPECT_TRUE(val.ok()) << val.summary();
+}
+
+TEST(Heuristic, ReportsInfeasibilityOnTinyHorizon) {
+  auto spec = TinySpec{};
+  spec.alpha = 0.05;
+  auto p = tiny_problem(spec);
+  const auto res = solve_heuristic(*p);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_FALSE(res.why.empty());
+}
+
+TEST(Heuristic, DeterministicAcrossRuns) {
+  auto p = tiny_problem(TinySpec{});
+  const auto a = solve_heuristic(*p);
+  const auto b = solve_heuristic(*p);
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.solution.proc, b.solution.proc);
+  EXPECT_EQ(a.solution.level, b.solution.level);
+  EXPECT_EQ(a.solution.path_choice, b.solution.path_choice);
+}
+
+TEST(Heuristic, AblationVariantsStillValid) {
+  auto spec = TinySpec{};
+  spec.num_tasks = 6;
+  // default generous horizon so all variants are schedulable
+  auto p = tiny_problem(spec);
+  for (const bool layered : {true, false}) {
+    for (const bool placeholder : {true, false}) {
+      for (const bool paths : {true, false}) {
+        HeuristicOptions opt;
+        opt.phase2.layered_sort = layered;
+        opt.phase2.comm_placeholder = placeholder;
+        opt.select_paths = paths;
+        const auto res = solve_heuristic(*p, opt);
+        ASSERT_TRUE(res.feasible) << res.why;
+        const auto val = nd::deploy::validate(*p, res.solution);
+        EXPECT_TRUE(val.ok()) << "layered=" << layered << " placeholder=" << placeholder
+                              << " paths=" << paths << ": " << val.summary();
+      }
+    }
+  }
+}
+
+TEST(Reschedule, RespectsPrecedenceAndNonOverlap) {
+  // Property: for any allocation, the list scheduler's output satisfies the
+  // precedence and per-processor exclusivity invariants it promises.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto spec = TinySpec{};
+    spec.seed = seed;
+    spec.num_tasks = 6;
+    auto p = tiny_problem(spec);
+    auto s = DeploymentSolution::empty(*p);
+    ASSERT_TRUE(nd::heuristic::phase1_frequency_and_duplication(*p, s));
+    // Adversarial allocation: everything interleaved over two processors.
+    int k = 0;
+    for (int i = 0; i < p->num_total_tasks(); ++i) {
+      if (s.exists[static_cast<std::size_t>(i)]) {
+        s.proc[static_cast<std::size_t>(i)] = k++ % 2;
+      }
+    }
+    std::vector<double> comm(static_cast<std::size_t>(p->num_total_tasks()), 0.0);
+    for (int i = 0; i < p->num_total_tasks(); ++i)
+      comm[static_cast<std::size_t>(i)] = nd::deploy::comm_time_into(*p, s, i);
+    nd::heuristic::reschedule(*p, s, comm);
+    for (const auto& e : p->dup().edges()) {
+      const auto fu = static_cast<std::size_t>(e.from);
+      const auto tu = static_cast<std::size_t>(e.to);
+      if (!s.exists[fu] || !s.exists[tu]) continue;
+      bool active = true;
+      for (const int g : e.gates) active = active && s.exists[static_cast<std::size_t>(g)];
+      if (!active) continue;
+      EXPECT_GE(s.start[tu] + 1e-12, s.end[fu]) << "seed " << seed;
+    }
+    for (int i = 0; i < p->num_total_tasks(); ++i) {
+      for (int j = i + 1; j < p->num_total_tasks(); ++j) {
+        const auto iu = static_cast<std::size_t>(i);
+        const auto ju = static_cast<std::size_t>(j);
+        if (!s.exists[iu] || !s.exists[ju] || s.proc[iu] != s.proc[ju]) continue;
+        const bool disjoint = s.end[iu] <= s.start[ju] + 1e-12 ||
+                              s.end[ju] <= s.start[iu] + 1e-12;
+        EXPECT_TRUE(disjoint) << "seed " << seed << " tasks " << i << "," << j;
+      }
+    }
+  }
+}
+
+// Property sweep: the heuristic's output always validates (or it honestly
+// reports infeasibility) across many random instances.
+class HeuristicSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicSweep, OutputAlwaysValidates) {
+  auto spec = TinySpec{};
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 7 + 1;
+  spec.num_tasks = 3 + GetParam() % 8;
+  spec.mesh_rows = 2;
+  spec.mesh_cols = 2 + GetParam() % 2;
+  spec.lambda0 = (GetParam() % 3 == 0) ? 5e-5 : 2e-6;
+  spec.alpha = 0.6 + 0.2 * (GetParam() % 4);
+  auto p = tiny_problem(spec);
+  const auto res = solve_heuristic(*p);
+  if (!res.feasible) {
+    SUCCEED() << "instance infeasible for the heuristic: " << res.why;
+    return;
+  }
+  const auto val = nd::deploy::validate(*p, res.solution);
+  EXPECT_TRUE(val.ok()) << "seed " << GetParam() << ": " << val.summary();
+  // Makespan sanity: within horizon.
+  for (int i = 0; i < p->num_total_tasks(); ++i) {
+    if (res.solution.exists[static_cast<std::size_t>(i)]) {
+      EXPECT_LE(res.solution.end[static_cast<std::size_t>(i)], p->horizon() + 1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HeuristicSweep, ::testing::Range(0, 40));
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Cross-module integration tests at paper scale (heuristic path only — the
+// MILP's integration coverage lives in test_model.cpp at reduced scale).
+// Chain under test: generator → problem → heuristic → validator → evaluator
+// → event simulator → fault injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/evaluate.hpp"
+#include "deploy/validate.hpp"
+#include "heuristic/phases.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/fault_injection.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using nd::test::tiny_problem;
+using nd::test::TinySpec;
+
+std::unique_ptr<nd::deploy::DeploymentProblem> paper_scale_instance(std::uint64_t seed,
+                                                                    double alpha,
+                                                                    double lambda0 = 2e-5) {
+  nd::Prng prng(seed);
+  nd::task::GenParams gen;
+  gen.num_tasks = 20;
+  gen.width = 4;
+  nd::noc::MeshParams mesh;  // 4x4
+  mesh.seed = seed + 1;
+  auto p = std::make_unique<nd::deploy::DeploymentProblem>(
+      nd::task::generate_layered(prng, gen), mesh, nd::dvfs::VfTable::typical6(),
+      nd::reliability::FaultParams{lambda0, 3.0}, 0.995, 1.0);
+  p->set_horizon(p->horizon_for_alpha(alpha));
+  return p;
+}
+
+class PaperScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperScaleSweep, FullChainHoldsTogether) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 131 + 7;
+  auto p = paper_scale_instance(seed, 1.2 + 0.3 * (GetParam() % 3));
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  if (!h.feasible) {
+    SUCCEED() << "instance infeasible: " << h.why;
+    return;
+  }
+  // 1. Every constraint re-derived independently.
+  const auto val = nd::deploy::validate(*p, h.solution);
+  ASSERT_TRUE(val.ok()) << val.summary();
+  // 2. Event-level execution stays within the analytic envelope.
+  const auto sim = nd::sim::simulate(*p, h.solution);
+  EXPECT_TRUE(sim.ok()) << (sim.anomalies.empty() ? "timing" : sim.anomalies.front());
+  // 3. Energy bookkeeping is self-consistent.
+  const auto rep = nd::deploy::evaluate_energy(*p, h.solution);
+  EXPECT_GT(rep.total(), 0.0);
+  EXPECT_GE(rep.total(), rep.max_proc());
+  EXPECT_LE(rep.max_proc() * p->num_procs() + 1e-9, rep.total() * p->num_procs() + 1e-9);
+  double sum = 0.0;
+  for (int k = 0; k < p->num_procs(); ++k) sum += rep.proc_total(k);
+  EXPECT_NEAR(sum, rep.total(), 1e-9 * std::max(1.0, rep.total()));
+  // 4. Reliability threshold met for every original task.
+  for (int i = 0; i < p->num_tasks(); ++i) {
+    EXPECT_GE(nd::deploy::effective_reliability(*p, h.solution, i), p->r_th() - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PaperScaleSweep, ::testing::Range(0, 20));
+
+TEST(PaperScale, HeuristicIsFast) {
+  // Fig. 2(f)'s claim: the heuristic is negligible — here < 50 ms at paper
+  // scale even on a slow machine.
+  auto p = paper_scale_instance(3, 1.5);
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible) << h.why;
+  EXPECT_LT(h.seconds, 0.05);
+}
+
+TEST(PaperScale, TighterHorizonNeverImprovesFeasibility) {
+  // Feasibility is monotone in alpha (Fig. 2(h) premise): if the heuristic
+  // solves at alpha, it must also solve at every larger alpha we try.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    bool was_feasible = false;
+    for (const double alpha : {0.4, 0.8, 1.2, 1.6, 2.4}) {
+      auto p = paper_scale_instance(seed, alpha);
+      const bool feasible = nd::heuristic::solve_heuristic(*p).feasible;
+      // Once feasible, growing alpha keeps the same schedule feasible; the
+      // heuristic is deterministic and alpha only scales H.
+      if (was_feasible) {
+        EXPECT_TRUE(feasible) << "seed " << seed << " alpha " << alpha;
+      }
+      was_feasible = was_feasible || feasible;
+    }
+  }
+}
+
+TEST(PaperScale, HigherFaultRateNeverReducesDuplicates) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    int prev = -1;
+    for (const double lambda0 : {1e-6, 1e-5, 5e-5}) {
+      auto p = paper_scale_instance(seed, 2.5, lambda0);
+      auto s = nd::deploy::DeploymentSolution::empty(*p);
+      ASSERT_TRUE(nd::heuristic::phase1_frequency_and_duplication(*p, s));
+      const int dups = s.num_duplicates(p->num_tasks());
+      if (prev >= 0) {
+        EXPECT_GE(dups, prev) << "seed " << seed;
+      }
+      prev = dups;
+    }
+  }
+}
+
+TEST(PaperScale, FaultInjectionTracksPredictionAtScale) {
+  auto p = paper_scale_instance(11, 2.0, 5e-5);
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible) << h.why;
+  const auto fc = nd::sim::run_fault_injection(*p, h.solution, 40000, 99);
+  EXPECT_NEAR(fc.observed, fc.predicted, std::max(3.0 * fc.conf3sigma, 0.01));
+  EXPECT_GE(fc.predicted, std::pow(p->r_th(), p->num_tasks()) - 1e-9);
+}
+
+TEST(PaperScale, LargerMeshNeverRaisesBalancedEnergyMuch) {
+  // With more processors the min-max energy cannot get dramatically worse;
+  // it usually improves (more room to spread). Allow 5% slack for comm
+  // effects.
+  nd::Prng prng(21);
+  nd::task::GenParams gen;
+  gen.num_tasks = 16;
+  const nd::task::TaskGraph base = nd::task::generate_layered(prng, gen);
+  double prev = -1.0;
+  for (const auto& [rows, cols] : std::vector<std::pair<int, int>>{{2, 2}, {2, 4}, {4, 4}}) {
+    nd::noc::MeshParams mesh;
+    mesh.rows = rows;
+    mesh.cols = cols;
+    nd::task::TaskGraph copy = base;
+    nd::deploy::DeploymentProblem p(std::move(copy), mesh, nd::dvfs::VfTable::typical6(),
+                                    nd::reliability::FaultParams{2e-5, 3.0}, 0.995, 1.0);
+    p.set_horizon(p.horizon_for_alpha(4.0));  // generous: feasible even on 2x2
+    const auto h = nd::heuristic::solve_heuristic(p);
+    ASSERT_TRUE(h.feasible) << rows << "x" << cols << ": " << h.why;
+    const double e = nd::deploy::evaluate_energy(p, h.solution).max_proc();
+    if (prev > 0.0) {
+      EXPECT_LE(e, prev * 1.05) << rows << "x" << cols;
+    }
+    prev = e;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "milp/model.hpp"
+
+namespace {
+
+using nd::milp::MipOptions;
+using nd::milp::MipStatus;
+using nd::milp::Model;
+using nd::lp::Sense;
+
+/// Exhaustive reference for pure-binary models: try all 2^n assignments.
+bool brute_force_binary(const Model& m, double* best_obj, std::vector<double>* best_x) {
+  const int n = m.num_vars();
+  bool found = false;
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> winner;
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    for (int j = 0; j < n; ++j) x[static_cast<std::size_t>(j)] = (mask >> j) & 1 ? 1.0 : 0.0;
+    if (!m.lp().is_feasible(x, 1e-9)) continue;
+    const double obj = m.lp().objective_value(x);
+    if (obj < best) {
+      best = obj;
+      winner = x;
+      found = true;
+    }
+  }
+  if (found) {
+    *best_obj = best;
+    *best_x = winner;
+  }
+  return found;
+}
+
+TEST(BranchAndBound, KnapsackKnownOptimum) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2 (as minimization of the negation)
+  Model m;
+  const int a = m.add_bin(-10.0, "a");
+  const int b = m.add_bin(-6.0, "b");
+  const int c = m.add_bin(-4.0, "c");
+  m.add_row({{a, 1.0}, {b, 1.0}, {c, 1.0}}, Sense::LE, 2.0);
+  const auto res = nd::milp::solve(m);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_NEAR(res.obj, -16.0, 1e-9);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-6);
+  EXPECT_NEAR(res.x[2], 0.0, 1e-6);
+}
+
+TEST(BranchAndBound, FractionalLpForcedIntegral) {
+  // LP relaxation picks x = 1.5; MILP must settle on an integer point.
+  Model m;
+  const int x = m.add_int(0, 3, -1.0, "x");
+  m.add_row({{x, 2.0}}, Sense::LE, 3.0);
+  const auto res = nd::milp::solve(m);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_NEAR(res.obj, -1.0, 1e-9);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-6);
+}
+
+TEST(BranchAndBound, InfeasibleDetected) {
+  Model m;
+  const int x = m.add_bin(1.0, "x");
+  const int y = m.add_bin(1.0, "y");
+  m.add_row({{x, 1.0}, {y, 1.0}}, Sense::GE, 3.0);
+  EXPECT_EQ(nd::milp::solve(m).status, MipStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, IntegerInfeasibleButLpFeasible) {
+  // 2x = 1 has the LP solution x = 0.5 but no integer solution.
+  Model m;
+  const int x = m.add_int(0, 1, 0.0, "x");
+  m.add_row({{x, 2.0}}, Sense::EQ, 1.0);
+  EXPECT_EQ(nd::milp::solve(m).status, MipStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, MixedIntegerContinuous) {
+  // min -y - 0.5 x, y binary-gated capacity: x <= 2y, x in [0,2].
+  Model m;
+  const int x = m.add_cont(0.0, 2.0, -0.5, "x");
+  const int y = m.add_bin(1.0, "y");  // using y costs 1
+  m.add_row({{x, 1.0}, {y, -2.0}}, Sense::LE, 0.0);
+  const auto res = nd::milp::solve(m);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  // y=1, x=2: obj = -1 + 1 = 0; y=0, x=0: obj = 0. Both optimal at 0.
+  EXPECT_NEAR(res.obj, 0.0, 1e-9);
+}
+
+TEST(BranchAndBound, EpigraphMinMax) {
+  // min t s.t. t >= load_k, classic min-max with binary assignment:
+  // two jobs (3, 5) onto two machines.
+  Model m;
+  const int t = m.add_cont(0.0, 100.0, 1.0, "t");
+  const int a1 = m.add_bin(0.0, "job_a_on_1");
+  const int b1 = m.add_bin(0.0, "job_b_on_1");
+  // load1 = 3 a1 + 5 b1; load2 = 3(1-a1) + 5(1-b1)
+  m.add_row({{t, -1.0}, {a1, 3.0}, {b1, 5.0}}, Sense::LE, 0.0);
+  m.add_row({{t, -1.0}, {a1, -3.0}, {b1, -5.0}}, Sense::LE, -8.0);
+  const auto res = nd::milp::solve(m);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_NEAR(res.obj, 5.0, 1e-9);  // split the jobs
+}
+
+TEST(BranchAndBound, WarmStartAcceptedAndImproved) {
+  Model m;
+  const int a = m.add_bin(-2.0, "a");
+  const int b = m.add_bin(-3.0, "b");
+  m.add_row({{a, 1.0}, {b, 1.0}}, Sense::LE, 1.0);
+  const std::vector<double> warm{1.0, 0.0};  // feasible, obj -2, not optimal
+  MipOptions opt;
+  opt.warm_start = &warm;
+  const auto res = nd::milp::solve(m, opt);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_NEAR(res.obj, -3.0, 1e-9);
+}
+
+TEST(BranchAndBound, InvalidWarmStartIgnored) {
+  Model m;
+  const int a = m.add_bin(-2.0, "a");
+  const int b = m.add_bin(-3.0, "b");
+  m.add_row({{a, 1.0}, {b, 1.0}}, Sense::LE, 1.0);
+  const std::vector<double> warm{1.0, 1.0};  // violates the row
+  MipOptions opt;
+  opt.warm_start = &warm;
+  const auto res = nd::milp::solve(m, opt);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_NEAR(res.obj, -3.0, 1e-9);
+}
+
+TEST(BranchAndBound, NodeLimitReturnsIncumbentAndBound) {
+  // A problem big enough not to finish in one node.
+  nd::Prng g(5);
+  Model m;
+  const int n = 16;
+  std::vector<std::pair<int, double>> cap;
+  for (int j = 0; j < n; ++j) {
+    m.add_bin(-g.uniform(1.0, 10.0));
+    cap.emplace_back(j, g.uniform(1.0, 5.0));
+  }
+  m.add_row(cap, Sense::LE, 12.0);
+  MipOptions opt;
+  opt.node_limit = 3;
+  const auto res = nd::milp::solve(m, opt);
+  EXPECT_TRUE(res.status == MipStatus::kFeasible || res.status == MipStatus::kUnknown ||
+              res.status == MipStatus::kOptimal);
+  if (res.has_solution()) {
+    EXPECT_LE(res.best_bound, res.obj + 1e-9);
+    EXPECT_TRUE(m.is_mip_feasible(res.x, 1e-6));
+  }
+}
+
+TEST(BranchAndBound, GapIsZeroAtOptimality) {
+  Model m;
+  const int a = m.add_bin(-1.0, "a");
+  m.add_row({{a, 1.0}}, Sense::LE, 1.0);
+  const auto res = nd::milp::solve(m);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_NEAR(res.gap(), 0.0, 1e-9);
+}
+
+TEST(BranchAndBound, CompletionHeuristicClosesNodes) {
+  // A 6-binary knapsack whose completion callback rounds the LP point to the
+  // known optimum: the solver should accept it and terminate in one node.
+  Model m;
+  const int n = 6;
+  std::vector<std::pair<int, double>> cap;
+  for (int j = 0; j < n; ++j) {
+    m.add_bin(-1.0);
+    cap.emplace_back(j, 1.0);
+  }
+  m.add_row(cap, Sense::LE, 3.0);
+  MipOptions opt;
+  opt.completion = [&](const std::vector<double>&, std::vector<double>* out) {
+    out->assign(static_cast<std::size_t>(n), 0.0);
+    (*out)[0] = (*out)[1] = (*out)[2] = 1.0;
+    return true;
+  };
+  const auto res = nd::milp::solve(m, opt);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_NEAR(res.obj, -3.0, 1e-9);
+  EXPECT_EQ(res.nodes, 1);
+}
+
+TEST(BranchAndBound, BadCompletionCandidatesAreIgnored) {
+  Model m;
+  const int a = m.add_bin(-2.0, "a");
+  const int b = m.add_bin(-3.0, "b");
+  m.add_row({{a, 1.0}, {b, 1.0}}, Sense::LE, 1.0);
+  MipOptions opt;
+  opt.completion = [](const std::vector<double>&, std::vector<double>* out) {
+    out->assign(2, 1.0);  // violates the row — must be rejected
+    return true;
+  };
+  const auto res = nd::milp::solve(m, opt);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_NEAR(res.obj, -3.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property test: B&B vs exhaustive enumeration on binary programs
+// ---------------------------------------------------------------------------
+
+class RandomBinaryMip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBinaryMip, MatchesBruteForce) {
+  nd::Prng g(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+  const int n = static_cast<int>(g.uniform_int(3, 10));
+  const int rows = static_cast<int>(g.uniform_int(1, 5));
+  Model m;
+  for (int j = 0; j < n; ++j) m.add_bin(g.uniform(-5.0, 5.0));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> coef;
+    for (int j = 0; j < n; ++j) {
+      if (g.bernoulli(0.7)) coef.emplace_back(j, g.uniform(-3.0, 3.0));
+    }
+    if (coef.empty()) coef.emplace_back(0, 1.0);
+    const auto sense = static_cast<Sense>(g.uniform_int(0, 1));
+    m.add_row(coef, sense, g.uniform(-2.0, 4.0));
+  }
+  double ref_obj = 0.0;
+  std::vector<double> ref_x;
+  const bool ref_feasible = brute_force_binary(m, &ref_obj, &ref_x);
+
+  const auto res = nd::milp::solve(m);
+  if (!ref_feasible) {
+    EXPECT_EQ(res.status, MipStatus::kInfeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(res.status, MipStatus::kOptimal) << "seed " << GetParam();
+    EXPECT_NEAR(res.obj, ref_obj, 1e-6) << "seed " << GetParam();
+    EXPECT_TRUE(m.is_mip_feasible(res.x, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomBinaryMip, ::testing::Range(0, 80));
+
+// General-integer randomized test: enumerate all assignments exhaustively.
+class RandomIntegerMip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomIntegerMip, MatchesBruteForce) {
+  nd::Prng g(static_cast<std::uint64_t>(GetParam()) * 15485863 + 1);
+  const int n = static_cast<int>(g.uniform_int(2, 4));
+  std::vector<int> lo(static_cast<std::size_t>(n)), hi(static_cast<std::size_t>(n));
+  Model m;
+  for (int j = 0; j < n; ++j) {
+    lo[static_cast<std::size_t>(j)] = static_cast<int>(g.uniform_int(-2, 0));
+    hi[static_cast<std::size_t>(j)] = lo[static_cast<std::size_t>(j)] +
+                                      static_cast<int>(g.uniform_int(1, 4));
+    m.add_int(lo[static_cast<std::size_t>(j)], hi[static_cast<std::size_t>(j)],
+              g.uniform(-3.0, 3.0));
+  }
+  for (int r = 0; r < 3; ++r) {
+    std::vector<std::pair<int, double>> coef;
+    for (int j = 0; j < n; ++j) coef.emplace_back(j, g.uniform(-2.0, 2.0));
+    m.add_row(coef, static_cast<Sense>(g.uniform_int(0, 1)), g.uniform(-2.0, 6.0));
+  }
+  // Exhaustive reference over the integer box.
+  bool found = false;
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<int> cur(lo);
+  while (true) {
+    for (int j = 0; j < n; ++j) x[static_cast<std::size_t>(j)] = cur[static_cast<std::size_t>(j)];
+    if (m.lp().is_feasible(x, 1e-9)) {
+      const double obj = m.lp().objective_value(x);
+      if (obj < best) {
+        best = obj;
+        found = true;
+      }
+    }
+    int j = 0;
+    while (j < n) {
+      if (++cur[static_cast<std::size_t>(j)] <= hi[static_cast<std::size_t>(j)]) break;
+      cur[static_cast<std::size_t>(j)] = lo[static_cast<std::size_t>(j)];
+      ++j;
+    }
+    if (j == n) break;
+  }
+  const auto res = nd::milp::solve(m);
+  if (!found) {
+    EXPECT_EQ(res.status, MipStatus::kInfeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(res.status, MipStatus::kOptimal) << "seed " << GetParam();
+    EXPECT_NEAR(res.obj, best, 1e-6) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomIntegerMip, ::testing::Range(0, 40));
+
+// Mixed binary + continuous randomized test: check incumbent feasibility and
+// bound sandwich (ref continuous check is not exhaustive, so we verify the
+// invariants obj >= best_bound and feasibility instead).
+class RandomMixedMip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMixedMip, InvariantsHold) {
+  nd::Prng g(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  Model m;
+  const int nb = static_cast<int>(g.uniform_int(2, 8));
+  const int nc = static_cast<int>(g.uniform_int(1, 4));
+  for (int j = 0; j < nb; ++j) m.add_bin(g.uniform(-3.0, 3.0));
+  for (int j = 0; j < nc; ++j) m.add_cont(0.0, g.uniform(1.0, 5.0), g.uniform(-2.0, 2.0));
+  for (int r = 0; r < 4; ++r) {
+    std::vector<std::pair<int, double>> coef;
+    for (int j = 0; j < nb + nc; ++j)
+      if (g.bernoulli(0.6)) coef.emplace_back(j, g.uniform(-2.0, 2.0));
+    if (coef.empty()) continue;
+    m.add_row(coef, Sense::LE, g.uniform(0.0, 5.0));
+  }
+  const auto res = nd::milp::solve(m);
+  if (res.has_solution()) {
+    EXPECT_TRUE(m.is_mip_feasible(res.x, 1e-6)) << "seed " << GetParam();
+    EXPECT_LE(res.best_bound, res.obj + 1e-6);
+    EXPECT_NEAR(m.lp().objective_value(res.x), res.obj, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomMixedMip, ::testing::Range(0, 40));
+
+}  // namespace

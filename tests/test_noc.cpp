@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "noc/mesh.hpp"
+
+namespace {
+
+using nd::noc::Mesh;
+using nd::noc::MeshParams;
+
+MeshParams params4x4() {
+  MeshParams p;
+  p.rows = 4;
+  p.cols = 4;
+  p.seed = 3;
+  return p;
+}
+
+TEST(Mesh, GeometryAndIds) {
+  const Mesh m(params4x4());
+  EXPECT_EQ(m.num_procs(), 16);
+  EXPECT_EQ(m.node_id(0, 0), 0);
+  EXPECT_EQ(m.node_id(3, 3), 15);
+  EXPECT_EQ(m.coords(5), std::make_pair(1, 1));
+  EXPECT_EQ(m.manhattan(0, 15), 6);
+  EXPECT_EQ(m.manhattan(5, 5), 0);
+}
+
+TEST(Mesh, DiagonalIsFree) {
+  const Mesh m(params4x4());
+  for (int k = 0; k < m.num_procs(); ++k) {
+    for (int rho = 0; rho < Mesh::kNumPaths; ++rho) {
+      EXPECT_DOUBLE_EQ(m.time_per_byte(k, k, rho), 0.0);
+      EXPECT_DOUBLE_EQ(m.total_energy_per_byte(k, k, rho), 0.0);
+      EXPECT_EQ(m.path_nodes(k, k, rho).size(), 1u);
+    }
+  }
+}
+
+TEST(Mesh, PathsAreValidWalks) {
+  const Mesh m(params4x4());
+  for (int b = 0; b < m.num_procs(); ++b) {
+    for (int g = 0; g < m.num_procs(); ++g) {
+      if (b == g) continue;
+      for (int rho = 0; rho < Mesh::kNumPaths; ++rho) {
+        const auto& nodes = m.path_nodes(b, g, rho);
+        ASSERT_GE(nodes.size(), 2u);
+        EXPECT_EQ(nodes.front(), b);
+        EXPECT_EQ(nodes.back(), g);
+        std::set<int> visited;
+        for (std::size_t s = 0; s < nodes.size(); ++s) {
+          EXPECT_TRUE(visited.insert(nodes[s]).second) << "path revisits a router";
+          if (s + 1 < nodes.size()) {
+            EXPECT_EQ(m.manhattan(nodes[s], nodes[s + 1]), 1) << "non-adjacent hop";
+          }
+        }
+        // At least as long as the Manhattan distance.
+        EXPECT_GE(static_cast<int>(nodes.size()) - 1, m.manhattan(b, g));
+      }
+    }
+  }
+}
+
+TEST(Mesh, EnergySharesSumToTotal) {
+  const Mesh m(params4x4());
+  for (int b = 0; b < m.num_procs(); ++b) {
+    for (int g = 0; g < m.num_procs(); ++g) {
+      if (b == g) continue;
+      for (int rho = 0; rho < Mesh::kNumPaths; ++rho) {
+        double sum = 0.0;
+        for (const auto& [node, e] : m.energy_shares(b, g, rho)) {
+          EXPECT_GT(e, 0.0);
+          EXPECT_NEAR(m.energy_per_byte(b, g, node, rho), e, 1e-18);
+          sum += e;
+        }
+        EXPECT_NEAR(sum, m.total_energy_per_byte(b, g, rho), 1e-15);
+      }
+    }
+  }
+}
+
+TEST(Mesh, EnergyPathIsEnergyOptimalAmongTheTwo) {
+  const Mesh m(params4x4());
+  for (int b = 0; b < m.num_procs(); ++b) {
+    for (int g = 0; g < m.num_procs(); ++g) {
+      if (b == g) continue;
+      EXPECT_LE(m.total_energy_per_byte(b, g, 0), m.total_energy_per_byte(b, g, 1) + 1e-15);
+      EXPECT_LE(m.time_per_byte(b, g, 1), m.time_per_byte(b, g, 0) + 1e-15);
+    }
+  }
+}
+
+TEST(Mesh, VariationMakesSomePathsDiffer) {
+  // With heterogeneous links the two oriented paths must differ for at
+  // least some pairs — the premise of multi-path selection.
+  const Mesh m(params4x4());
+  int differing = 0;
+  for (int b = 0; b < m.num_procs(); ++b) {
+    for (int g = 0; g < m.num_procs(); ++g) {
+      if (b == g) continue;
+      if (m.path_nodes(b, g, 0) != m.path_nodes(b, g, 1)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Mesh, ZeroVariationUniformCosts) {
+  MeshParams p = params4x4();
+  p.variation = 0.0;
+  const Mesh m(p);
+  // All minimal paths now cost hops · (router+link) + router energy.
+  for (int b = 0; b < m.num_procs(); ++b) {
+    for (int g = 0; g < m.num_procs(); ++g) {
+      if (b == g) continue;
+      const int hops = m.manhattan(b, g);
+      const double expect_e =
+          (hops + 1) * p.router_energy_per_byte + hops * p.link_energy_per_byte;
+      EXPECT_NEAR(m.total_energy_per_byte(b, g, 0), expect_e, 1e-15);
+      EXPECT_NEAR(m.time_per_byte(b, g, 1), hops * p.link_latency_per_byte, 1e-15);
+    }
+  }
+}
+
+TEST(Mesh, DeterministicForSeed) {
+  const Mesh a(params4x4());
+  const Mesh b(params4x4());
+  for (int s = 0; s < a.num_procs(); ++s) {
+    for (int d = 0; d < a.num_procs(); ++d) {
+      for (int rho = 0; rho < Mesh::kNumPaths; ++rho) {
+        EXPECT_EQ(a.path_nodes(s, d, rho), b.path_nodes(s, d, rho));
+        EXPECT_DOUBLE_EQ(a.time_per_byte(s, d, rho), b.time_per_byte(s, d, rho));
+      }
+    }
+  }
+}
+
+TEST(Mesh, AggregatesConsistent) {
+  const Mesh m(params4x4());
+  EXPECT_GT(m.max_time_per_byte(), 0.0);
+  EXPECT_GT(m.min_time_per_byte(), 0.0);
+  EXPECT_LE(m.min_time_per_byte(), m.max_time_per_byte());
+  EXPECT_GT(m.max_energy_share(), 0.0);
+  for (int k = 0; k < m.num_procs(); ++k) EXPECT_GE(m.avg_energy_share(k), 0.0);
+}
+
+TEST(Mesh, SingleNodeMesh) {
+  MeshParams p;
+  p.rows = 1;
+  p.cols = 1;
+  const Mesh m(p);
+  EXPECT_EQ(m.num_procs(), 1);
+  EXPECT_DOUBLE_EQ(m.min_time_per_byte(), 0.0);
+}
+
+TEST(Mesh, RejectsBadParams) {
+  MeshParams p;
+  p.rows = 0;
+  EXPECT_THROW(Mesh{p}, std::invalid_argument);
+  p = MeshParams{};
+  p.variation = 1.5;
+  EXPECT_THROW(Mesh{p}, std::invalid_argument);
+}
+
+TEST(MeshXy, DimensionOrderedRoutes) {
+  MeshParams p = params4x4();
+  p.policy = nd::noc::PathPolicy::kXyYx;
+  const Mesh m(p);
+  // XY: from (0,0) to (2,3) → columns first, then rows.
+  const int src = m.node_id(0, 0);
+  const int dst = m.node_id(2, 3);
+  const auto& xy = m.path_nodes(src, dst, 0);
+  const std::vector<int> expect_xy{m.node_id(0, 0), m.node_id(0, 1), m.node_id(0, 2),
+                                   m.node_id(0, 3), m.node_id(1, 3), m.node_id(2, 3)};
+  EXPECT_EQ(xy, expect_xy);
+  const auto& yx = m.path_nodes(src, dst, 1);
+  const std::vector<int> expect_yx{m.node_id(0, 0), m.node_id(1, 0), m.node_id(2, 0),
+                                   m.node_id(2, 1), m.node_id(2, 2), m.node_id(2, 3)};
+  EXPECT_EQ(yx, expect_yx);
+}
+
+TEST(MeshXy, PathsAreMinimalHops) {
+  MeshParams p = params4x4();
+  p.policy = nd::noc::PathPolicy::kXyYx;
+  const Mesh m(p);
+  for (int b = 0; b < m.num_procs(); ++b) {
+    for (int g = 0; g < m.num_procs(); ++g) {
+      if (b == g) continue;
+      for (int rho = 0; rho < Mesh::kNumPaths; ++rho) {
+        EXPECT_EQ(static_cast<int>(m.path_nodes(b, g, rho).size()) - 1, m.manhattan(b, g));
+      }
+    }
+  }
+}
+
+TEST(MeshXy, SharesStillSumToTotal) {
+  MeshParams p = params4x4();
+  p.policy = nd::noc::PathPolicy::kXyYx;
+  const Mesh m(p);
+  for (int b = 0; b < m.num_procs(); ++b) {
+    for (int g = 0; g < m.num_procs(); ++g) {
+      if (b == g) continue;
+      for (int rho = 0; rho < Mesh::kNumPaths; ++rho) {
+        double sum = 0.0;
+        for (const auto& [node, e] : m.energy_shares(b, g, rho)) {
+          (void)node;
+          sum += e;
+        }
+        EXPECT_NEAR(sum, m.total_energy_per_byte(b, g, rho), 1e-15);
+      }
+    }
+  }
+}
+
+TEST(Mesh, HopLatencyMatchesPathSum) {
+  const Mesh m(params4x4());
+  for (int b = 0; b < m.num_procs(); ++b) {
+    for (int g = 0; g < m.num_procs(); ++g) {
+      if (b == g) continue;
+      const auto& nodes = m.path_nodes(b, g, 1);
+      double sum = 0.0;
+      for (std::size_t s = 0; s + 1 < nodes.size(); ++s) {
+        sum += m.hop_latency_per_byte(nodes[s], nodes[s + 1]);
+      }
+      EXPECT_NEAR(sum, m.time_per_byte(b, g, 1), 1e-18);
+    }
+  }
+}
+
+class MeshSizeSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MeshSizeSweep, AllPairsRoutable) {
+  MeshParams p;
+  p.rows = GetParam().first;
+  p.cols = GetParam().second;
+  p.seed = 11;
+  const Mesh m(p);
+  for (int b = 0; b < m.num_procs(); ++b) {
+    for (int g = 0; g < m.num_procs(); ++g) {
+      if (b == g) continue;
+      for (int rho = 0; rho < Mesh::kNumPaths; ++rho) {
+        EXPECT_GT(m.time_per_byte(b, g, rho), 0.0);
+        EXPECT_GT(m.total_energy_per_byte(b, g, rho), 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MeshSizeSweep,
+                         ::testing::Values(std::make_pair(1, 2), std::make_pair(2, 2),
+                                           std::make_pair(2, 3), std::make_pair(3, 3),
+                                           std::make_pair(4, 4), std::make_pair(2, 8),
+                                           std::make_pair(5, 5)));
+
+}  // namespace

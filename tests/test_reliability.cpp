@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dvfs/vf_table.hpp"
+#include "reliability/fault_model.hpp"
+
+namespace {
+
+using nd::dvfs::VfTable;
+using nd::reliability::FaultModel;
+using nd::reliability::FaultParams;
+
+TEST(FaultModel, RateAtMaxFrequencyIsLambda0) {
+  const VfTable t = VfTable::typical6();
+  const FaultModel fm({1e-6, 3.0}, t);
+  EXPECT_NEAR(fm.rate(t.num_levels() - 1), 1e-6, 1e-18);
+}
+
+TEST(FaultModel, RateAtMinFrequencyIsLambda0Times10PowD) {
+  const VfTable t = VfTable::typical6();
+  const FaultModel fm({1e-6, 3.0}, t);
+  EXPECT_NEAR(fm.rate(0), 1e-6 * 1e3, 1e-12);
+}
+
+TEST(FaultModel, RateDecreasesWithFrequency) {
+  const VfTable t = VfTable::typical6();
+  const FaultModel fm({1e-5, 2.0}, t);
+  for (int l = 1; l < t.num_levels(); ++l) EXPECT_LT(fm.rate(l), fm.rate(l - 1));
+}
+
+TEST(FaultModel, ReliabilityMatchesClosedForm) {
+  const VfTable t = VfTable::typical6();
+  const FaultModel fm({1e-6, 3.0}, t);
+  const std::uint64_t cycles = 2'000'000'000ull;
+  for (int l = 0; l < t.num_levels(); ++l) {
+    const double f = t.level(l).freq;
+    const double scale = (t.f_max() - f) / (t.f_max() - t.f_min());
+    const double expected =
+        std::exp(-1e-6 * std::pow(10.0, 3.0 * scale) * static_cast<double>(cycles) / f);
+    EXPECT_NEAR(fm.task_reliability(cycles, l), expected, 1e-12);
+  }
+}
+
+TEST(FaultModel, ReliabilityIncreasesWithFrequency) {
+  // Higher frequency: shorter exposure AND lower rate, so strictly better.
+  const VfTable t = VfTable::typical6();
+  const FaultModel fm({1e-5, 4.0}, t);
+  double prev = 0.0;
+  for (int l = 0; l < t.num_levels(); ++l) {
+    const double r = fm.task_reliability(1'000'000'000ull, l);
+    EXPECT_GT(r, prev);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    prev = r;
+  }
+}
+
+TEST(FaultModel, ReliabilityDecreasesWithCycles) {
+  const VfTable t = VfTable::typical6();
+  const FaultModel fm({1e-6, 3.0}, t);
+  EXPECT_GT(fm.task_reliability(1'000'000'000ull, 2),
+            fm.task_reliability(4'000'000'000ull, 2));
+}
+
+TEST(FaultModel, DuplicationImprovesReliability) {
+  const double r = 0.9;
+  const double dup = FaultModel::duplicated(r, r);
+  EXPECT_NEAR(dup, 1.0 - 0.01, 1e-12);
+  EXPECT_GT(dup, r);
+}
+
+TEST(FaultModel, DuplicationEdgeCases) {
+  EXPECT_DOUBLE_EQ(FaultModel::duplicated(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FaultModel::duplicated(0.0, 0.0), 0.0);
+  EXPECT_NEAR(FaultModel::duplicated(0.5, 0.8), 0.9, 1e-12);
+}
+
+TEST(FaultModel, ZeroSensitivityGivesFlatRate) {
+  const VfTable t = VfTable::typical6();
+  const FaultModel fm({1e-6, 0.0}, t);
+  EXPECT_NEAR(fm.rate(0), fm.rate(t.num_levels() - 1), 1e-18);
+}
+
+TEST(FaultModel, SingleLevelTable) {
+  const VfTable t({{1.0, 2.0e9}});
+  const FaultModel fm({1e-6, 3.0}, t);
+  EXPECT_NEAR(fm.rate(0), 1e-6, 1e-18);  // degenerate span → λ at f_max
+}
+
+TEST(FaultModel, RejectsBadParams) {
+  const VfTable t = VfTable::typical6();
+  EXPECT_THROW(FaultModel({0.0, 3.0}, t), std::invalid_argument);
+  EXPECT_THROW(FaultModel({1e-6, -1.0}, t), std::invalid_argument);
+}
+
+TEST(FaultModel, DuplicationSymmetricAndMonotone) {
+  for (double r1 : {0.1, 0.5, 0.9, 0.99}) {
+    for (double r2 : {0.2, 0.6, 0.95}) {
+      EXPECT_DOUBLE_EQ(FaultModel::duplicated(r1, r2), FaultModel::duplicated(r2, r1));
+      EXPECT_GE(FaultModel::duplicated(r1, r2), std::max(r1, r2) - 1e-15);
+      EXPECT_LE(FaultModel::duplicated(r1, r2), 1.0);
+      // Monotone in each argument.
+      EXPECT_GE(FaultModel::duplicated(r1 + 0.005, r2), FaultModel::duplicated(r1, r2));
+    }
+  }
+}
+
+// Property: duplication of the weakest level pair beats the single weakest
+// level for every cycle count in a sweep.
+class DupSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DupSweep, DuplicationAlwaysHelps) {
+  const VfTable t = VfTable::typical6();
+  const FaultModel fm({1e-4, 3.0}, t);
+  const auto cycles = static_cast<std::uint64_t>(1ull << (28 + GetParam()));
+  for (int l = 0; l < t.num_levels(); ++l) {
+    const double r = fm.task_reliability(cycles, l);
+    EXPECT_GE(FaultModel::duplicated(r, r), r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DupSweep, ::testing::Range(0, 6));
+
+}  // namespace

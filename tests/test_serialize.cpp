@@ -1,0 +1,152 @@
+// Round-trip tests for the JSON problem/solution serialization and the
+// DOT / Gantt exports.
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "deploy/evaluate.hpp"
+#include "deploy/export.hpp"
+#include "deploy/serialize.hpp"
+#include "deploy/validate.hpp"
+#include "heuristic/phases.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using nd::test::tiny_problem;
+using nd::test::TinySpec;
+
+TEST(Serialize, ProblemRoundTrip) {
+  auto p = tiny_problem(TinySpec{});
+  const auto j = nd::deploy::problem_to_json(*p);
+  auto q = nd::deploy::problem_from_json(j);
+  EXPECT_EQ(q->num_tasks(), p->num_tasks());
+  EXPECT_EQ(q->num_procs(), p->num_procs());
+  EXPECT_EQ(q->num_levels(), p->num_levels());
+  EXPECT_DOUBLE_EQ(q->horizon(), p->horizon());
+  EXPECT_DOUBLE_EQ(q->r_th(), p->r_th());
+  for (int i = 0; i < p->num_tasks(); ++i) {
+    EXPECT_EQ(q->graph().wcec(i), p->graph().wcec(i));
+    EXPECT_DOUBLE_EQ(q->graph().deadline(i), p->graph().deadline(i));
+  }
+  ASSERT_EQ(q->graph().edges().size(), p->graph().edges().size());
+  for (std::size_t e = 0; e < p->graph().edges().size(); ++e) {
+    EXPECT_EQ(q->graph().edges()[e].from, p->graph().edges()[e].from);
+    EXPECT_EQ(q->graph().edges()[e].to, p->graph().edges()[e].to);
+    EXPECT_DOUBLE_EQ(q->graph().edges()[e].bytes, p->graph().edges()[e].bytes);
+  }
+  // Mesh costs must be bit-identical (same params + seed).
+  for (int b = 0; b < p->num_procs(); ++b)
+    for (int g = 0; g < p->num_procs(); ++g)
+      for (int rho = 0; rho < 2; ++rho)
+        EXPECT_DOUBLE_EQ(q->mesh().time_per_byte(b, g, rho), p->mesh().time_per_byte(b, g, rho));
+}
+
+TEST(Serialize, ProblemSurvivesTextRoundTrip) {
+  auto p = tiny_problem(TinySpec{});
+  const std::string text = nd::deploy::problem_to_json(*p).dump(2);
+  auto q = nd::deploy::problem_from_json(nd::json::parse(text));
+  // Solving both must give identical results (full determinism).
+  const auto a = nd::heuristic::solve_heuristic(*p);
+  const auto b = nd::heuristic::solve_heuristic(*q);
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (a.feasible) {
+    EXPECT_EQ(a.solution.proc, b.solution.proc);
+    EXPECT_EQ(a.solution.level, b.solution.level);
+    EXPECT_EQ(a.solution.path_choice, b.solution.path_choice);
+  }
+}
+
+TEST(Serialize, PathPolicyRoundTrips) {
+  nd::task::TaskGraph g;
+  g.add_task(1e9, 10.0);
+  g.add_task(1e9, 10.0);
+  g.add_edge(0, 1, 1e6);
+  nd::noc::MeshParams mesh;
+  mesh.rows = 2;
+  mesh.cols = 2;
+  mesh.policy = nd::noc::PathPolicy::kXyYx;
+  nd::deploy::DeploymentProblem p(std::move(g), mesh, nd::dvfs::VfTable::typical6(),
+                                  nd::reliability::FaultParams{1e-9, 1.0}, 0.9, 100.0);
+  auto q = nd::deploy::problem_from_json(nd::deploy::problem_to_json(p));
+  EXPECT_EQ(q->mesh().params().policy, nd::noc::PathPolicy::kXyYx);
+  // XY paths are dimension-ordered in the round-tripped mesh too.
+  EXPECT_EQ(q->mesh().path_nodes(0, 3, 0), p.mesh().path_nodes(0, 3, 0));
+}
+
+TEST(Serialize, SolutionRoundTrip) {
+  auto p = tiny_problem(TinySpec{});
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible) << h.why;
+  const auto j = nd::deploy::solution_to_json(h.solution);
+  const auto s = nd::deploy::solution_from_json(nd::json::parse(j.dump()), *p);
+  EXPECT_EQ(s.exists, h.solution.exists);
+  EXPECT_EQ(s.level, h.solution.level);
+  EXPECT_EQ(s.proc, h.solution.proc);
+  EXPECT_EQ(s.path_choice, h.solution.path_choice);
+  for (std::size_t i = 0; i < s.start.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.start[i], h.solution.start[i]);
+    EXPECT_DOUBLE_EQ(s.end[i], h.solution.end[i]);
+  }
+  // And it still validates.
+  EXPECT_TRUE(nd::deploy::validate(*p, s).ok());
+}
+
+TEST(Serialize, SolutionArityChecked) {
+  auto p = tiny_problem(TinySpec{});
+  auto j = nd::json::parse(R"({"exists":[1],"level":[0],"proc":[0],
+                               "start":[0],"end":[1],"path_choice":[0]})");
+  EXPECT_THROW(nd::deploy::solution_from_json(j, *p), std::invalid_argument);
+}
+
+TEST(Serialize, MalformedProblemRejected) {
+  EXPECT_THROW(nd::deploy::problem_from_json(nd::json::parse("{}")), std::invalid_argument);
+  EXPECT_THROW(
+      nd::deploy::problem_from_json(nd::json::parse(R"({"tasks":[{"wcec":0,"deadline":1}]})")),
+      std::invalid_argument);
+}
+
+TEST(Serialize, FileHelpers) {
+  const std::string path = "/tmp/nd_serialize_test.json";
+  nd::deploy::write_file(path, "{\"x\": 1}\n");
+  EXPECT_EQ(nd::deploy::read_file(path), "{\"x\": 1}\n");
+  EXPECT_THROW(nd::deploy::read_file("/nonexistent/dir/file.json"), std::runtime_error);
+  EXPECT_THROW(nd::deploy::write_file("/nonexistent/dir/file.json", "x"), std::runtime_error);
+}
+
+TEST(Export, GraphDotContainsTasksAndEdges) {
+  auto p = tiny_problem(TinySpec{});
+  const std::string dot = nd::deploy::graph_to_dot(p->graph());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (int i = 0; i < p->num_tasks(); ++i) {
+    EXPECT_NE(dot.find("t" + std::to_string(i) + " ["), std::string::npos);
+  }
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Export, DeploymentDotMarksDuplicatesAndPaths) {
+  auto spec = TinySpec{};
+  spec.lambda0 = 5e-5;  // force duplicates
+  auto p = tiny_problem(spec);
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible) << h.why;
+  ASSERT_GT(h.solution.num_duplicates(p->num_tasks()), 0);
+  const std::string dot = nd::deploy::deployment_to_dot(*p, h.solution);
+  EXPECT_NE(dot.find("dashed"), std::string::npos);   // duplicates dashed
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(Export, GanttHasOneRowPerProcessor) {
+  auto p = tiny_problem(TinySpec{});
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible);
+  const std::string gantt = nd::deploy::gantt_ascii(*p, h.solution, 40);
+  int rows = 0;
+  for (std::size_t pos = gantt.find("P"); pos != std::string::npos;
+       pos = gantt.find("\nP", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, p->num_procs());
+  EXPECT_THROW(nd::deploy::gantt_ascii(*p, h.solution, 3), std::invalid_argument);
+}
+
+}  // namespace

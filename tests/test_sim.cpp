@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/validate.hpp"
+#include "heuristic/phases.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/fault_injection.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using nd::deploy::DeploymentSolution;
+using nd::test::tiny_problem;
+using nd::test::TinySpec;
+
+TEST(EventSim, ExecutesHeuristicDeployment) {
+  auto p = tiny_problem(TinySpec{});
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible) << h.why;
+  const auto sim = nd::sim::simulate(*p, h.solution);
+  EXPECT_TRUE(sim.ok()) << (sim.anomalies.empty() ? "" : sim.anomalies.front());
+  EXPECT_TRUE(sim.completed);
+  EXPECT_LE(sim.makespan, p->horizon() + 1e-7);
+}
+
+TEST(EventSim, SimulatedTimesNeverExceedAnalytic) {
+  auto spec = TinySpec{};
+  spec.num_tasks = 8;
+  spec.mesh_cols = 3;
+  auto p = tiny_problem(spec);
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible) << h.why;
+  const auto sim = nd::sim::simulate(*p, h.solution);
+  ASSERT_TRUE(sim.completed);
+  for (int i = 0; i < p->num_total_tasks(); ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    if (!h.solution.exists[iu]) continue;
+    EXPECT_LE(sim.sim_start[iu], h.solution.start[iu] + 1e-7) << "task " << i;
+    EXPECT_LE(sim.sim_end[iu], h.solution.end[iu] + 1e-7) << "task " << i;
+  }
+}
+
+TEST(EventSim, RespectsPrecedenceInSimulatedOrder) {
+  auto p = tiny_problem(TinySpec{});
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible);
+  const auto sim = nd::sim::simulate(*p, h.solution);
+  for (const auto& e : p->dup().edges()) {
+    const auto fu = static_cast<std::size_t>(e.from);
+    const auto tu = static_cast<std::size_t>(e.to);
+    if (!h.solution.exists[fu] || !h.solution.exists[tu]) continue;
+    bool active = true;
+    for (const int g : e.gates) active = active && h.solution.exists[static_cast<std::size_t>(g)];
+    if (!active) continue;
+    EXPECT_GE(sim.sim_start[tu], sim.sim_end[fu] - 1e-9)
+        << "edge " << e.from << "→" << e.to;
+  }
+}
+
+TEST(EventSim, DetectsBogusSchedule) {
+  // A schedule that claims an impossibly early start for the successor: the
+  // simulator must flag the anomaly (sim start will exceed analytic claim...
+  // actually the sim runs correctly; the anomaly is sim_start > claimed).
+  nd::task::TaskGraph g;
+  g.add_task(1'000'000'000ull, 10.0);
+  g.add_task(1'000'000'000ull, 10.0);
+  g.add_edge(0, 1, 1.0e7);
+  nd::noc::MeshParams mesh;
+  mesh.rows = 1;
+  mesh.cols = 2;
+  nd::deploy::DeploymentProblem p(std::move(g), mesh, nd::dvfs::VfTable::typical6(),
+                                  nd::reliability::FaultParams{1e-9, 1.0}, 0.9, 100.0);
+  DeploymentSolution s = DeploymentSolution::empty(p);
+  const double t = p.vf().exec_time(1'000'000'000ull, 0);
+  s.level = {0, 0, -1, -1};
+  s.proc = {0, 1, -1, -1};
+  s.start = {0.0, t, 0.0, 0.0};  // ignores the cross-mesh transfer time
+  s.end = {t, 2 * t, 0.0, 0.0};
+  const auto sim = nd::sim::simulate(p, s);
+  EXPECT_FALSE(sim.anomalies.empty());
+}
+
+TEST(FaultInjection, ObservedMatchesPredictedWithoutDuplicates) {
+  auto spec = TinySpec{};
+  spec.lambda0 = 2e-6;  // high reliability, no duplicates expected
+  auto p = tiny_problem(spec);
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible);
+  const auto fc = nd::sim::run_fault_injection(*p, h.solution, 20000, 42);
+  EXPECT_EQ(fc.trials, 20000);
+  EXPECT_NEAR(fc.observed, fc.predicted, std::max(fc.conf3sigma, 0.01));
+}
+
+TEST(FaultInjection, DuplicationLiftsObservedReliability) {
+  auto spec = TinySpec{};
+  spec.lambda0 = 5e-5;
+  auto p = tiny_problem(spec);
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible) << h.why;
+  ASSERT_GT(h.solution.num_duplicates(p->num_tasks()), 0)
+      << "test premise: duplicates must exist";
+  const auto with = nd::sim::run_fault_injection(*p, h.solution, 20000, 7);
+  // Strip the duplicates and re-run: observed reliability must drop.
+  DeploymentSolution stripped = h.solution;
+  for (int d = p->num_tasks(); d < p->num_total_tasks(); ++d)
+    stripped.exists[static_cast<std::size_t>(d)] = 0;
+  const auto without = nd::sim::run_fault_injection(*p, stripped, 20000, 7);
+  EXPECT_GT(with.observed, without.observed);
+  EXPECT_GE(with.predicted, std::pow(p->r_th(), p->num_tasks()) - 1e-9);
+}
+
+TEST(FaultInjection, PredictionConsistencyAcrossSeeds) {
+  auto p = tiny_problem(TinySpec{});
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible);
+  const auto a = nd::sim::run_fault_injection(*p, h.solution, 5000, 1);
+  const auto b = nd::sim::run_fault_injection(*p, h.solution, 5000, 2);
+  EXPECT_DOUBLE_EQ(a.predicted, b.predicted);
+  EXPECT_NEAR(a.observed, b.observed, 3.0 * (a.conf3sigma + b.conf3sigma) + 1e-3);
+}
+
+TEST(ContentionSim, CompletesAndReportsLateness) {
+  auto spec = TinySpec{};
+  spec.num_tasks = 8;
+  spec.mesh_cols = 2;
+  auto p = tiny_problem(spec);
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  ASSERT_TRUE(h.feasible) << h.why;
+  nd::sim::SimOptions opts;
+  opts.link_contention = true;
+  const auto sim = nd::sim::simulate(*p, h.solution, opts);
+  EXPECT_TRUE(sim.completed);
+  EXPECT_GE(sim.max_lateness, 0.0);
+  EXPECT_GE(sim.late_tasks, 0);
+  // Contention never creates schedule anomalies (expected lateness is
+  // reported separately).
+  EXPECT_TRUE(sim.anomalies.empty());
+}
+
+TEST(ContentionSim, SingleMessageChainMatchesAnalytic) {
+  // One message on an otherwise idle mesh sees no contention: hop-by-hop
+  // store-and-forward sums to exactly the path latency.
+  nd::task::TaskGraph g;
+  g.add_task(1'000'000'000ull, 10.0);
+  g.add_task(1'000'000'000ull, 10.0);
+  g.add_edge(0, 1, 4.0e6);
+  nd::noc::MeshParams mesh;
+  mesh.rows = 2;
+  mesh.cols = 2;
+  nd::deploy::DeploymentProblem p(std::move(g), mesh, nd::dvfs::VfTable::typical6(),
+                                  nd::reliability::FaultParams{1e-9, 1.0}, 0.9, 100.0);
+  nd::deploy::DeploymentSolution s = nd::deploy::DeploymentSolution::empty(p);
+  const double t = p.vf().exec_time(1'000'000'000ull, 0);
+  const double comm = 4.0e6 * p.mesh().time_per_byte(0, 3, 0);
+  s.level = {0, 0, -1, -1};
+  s.proc = {0, 3, -1, -1};
+  s.start = {0.0, t + comm, 0.0, 0.0};
+  s.end = {t, 2 * t + comm, 0.0, 0.0};
+  nd::sim::SimOptions opts;
+  opts.link_contention = true;
+  const auto sim = nd::sim::simulate(p, s, opts);
+  ASSERT_TRUE(sim.completed);
+  EXPECT_NEAR(sim.sim_start[1], t + comm, 1e-9);
+  EXPECT_EQ(sim.late_tasks, 0);
+}
+
+TEST(ContentionSim, SharedLinkSerializesMessages) {
+  // Two producers on node 0 feed consumers on node 1 (1x2 mesh): both
+  // messages share the single 0→1 link, so the second is delayed by the
+  // first message's full transfer time.
+  nd::task::TaskGraph g;
+  g.add_task(1'000'000'000ull, 10.0);  // producer A
+  g.add_task(1'000'000'000ull, 10.0);  // producer B
+  g.add_task(1'000'000'000ull, 10.0);  // consumer A
+  g.add_task(1'000'000'000ull, 10.0);  // consumer B
+  const double bytes = 8.0e6;
+  g.add_edge(0, 2, bytes);
+  g.add_edge(1, 3, bytes);
+  nd::noc::MeshParams mesh;
+  mesh.rows = 1;
+  mesh.cols = 2;
+  mesh.variation = 0.0;
+  nd::deploy::DeploymentProblem p(std::move(g), mesh, nd::dvfs::VfTable::typical6(),
+                                  nd::reliability::FaultParams{1e-9, 1.0}, 0.9, 100.0);
+  nd::deploy::DeploymentSolution s = nd::deploy::DeploymentSolution::empty(p);
+  const double t = p.vf().exec_time(1'000'000'000ull, 5);
+  const double comm = bytes * p.mesh().time_per_byte(0, 1, 0);
+  // Producers in parallel?? single core per node: serialize producers on P0;
+  // both consumers on P1. Analytic starts use the serial-receive bound.
+  s.level = {5, 5, 5, 5, -1, -1, -1, -1};
+  s.proc = {0, 0, 1, 1, -1, -1, -1, -1};
+  s.start = {0.0, t, t + comm, 2 * t + 2 * comm, 0, 0, 0, 0};
+  s.end = {t, 2 * t, t + comm + t, 2 * t + 2 * comm + t, 0, 0, 0, 0};
+  nd::sim::SimOptions opts;
+  opts.link_contention = true;
+  const auto sim = nd::sim::simulate(p, s, opts);
+  ASSERT_TRUE(sim.completed);
+  // Consumer A's message leaves at t, arrives t+comm; consumer B's message
+  // leaves at 2t; the link is free by then iff comm <= t, else it queues.
+  const double expected_b_arrival = std::max(2 * t, t + comm) + comm;
+  EXPECT_NEAR(sim.sim_start[3], std::max(expected_b_arrival, sim.sim_end[2]), 1e-9);
+}
+
+class SimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimSweep, HeuristicDeploymentsAlwaysSimulateClean) {
+  auto spec = TinySpec{};
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 31 + 5;
+  spec.num_tasks = 3 + GetParam() % 6;
+  spec.lambda0 = (GetParam() % 2 == 0) ? 5e-5 : 2e-6;
+  auto p = tiny_problem(spec);
+  const auto h = nd::heuristic::solve_heuristic(*p);
+  if (!h.feasible) {
+    SUCCEED();
+    return;
+  }
+  const auto sim = nd::sim::simulate(*p, h.solution);
+  EXPECT_TRUE(sim.ok()) << "seed " << GetParam() << ": "
+                        << (sim.anomalies.empty() ? "incomplete/deadline/horizon"
+                                                  : sim.anomalies.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimSweep, ::testing::Range(0, 25));
+
+}  // namespace

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/prng.hpp"
+#include "task/duplication.hpp"
+#include "task/generator.hpp"
+#include "task/task_graph.hpp"
+
+namespace {
+
+using nd::task::DuplicatedTaskSet;
+using nd::task::GenParams;
+using nd::task::TaskGraph;
+
+TaskGraph diamond() {
+  // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task(1'000'000'000ull + i, 2.0);
+  g.add_edge(0, 1, 100.0);
+  g.add_edge(0, 2, 200.0);
+  g.add_edge(1, 3, 300.0);
+  g.add_edge(2, 3, 400.0);
+  return g;
+}
+
+TEST(TaskGraph, BasicAccessors) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.num_tasks(), 4);
+  EXPECT_EQ(g.in_degree(3), 2);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(g.bytes(2, 3), 400.0);
+  EXPECT_DOUBLE_EQ(g.bytes(3, 2), 0.0);
+}
+
+TEST(TaskGraph, RejectsCyclesSelfLoopsDuplicates) {
+  TaskGraph g = diamond();
+  EXPECT_THROW(g.add_edge(3, 0, 1.0), std::invalid_argument);  // cycle
+  EXPECT_THROW(g.add_edge(1, 1, 1.0), std::invalid_argument);  // self loop
+  EXPECT_THROW(g.add_edge(0, 1, 1.0), std::invalid_argument);  // duplicate
+  EXPECT_THROW(g.add_edge(0, 9, 1.0), std::invalid_argument);  // range
+}
+
+TEST(TaskGraph, TopoOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto order = g.topo_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  for (const auto& e : g.edges()) {
+    EXPECT_LT(pos[static_cast<std::size_t>(e.from)], pos[static_cast<std::size_t>(e.to)]);
+  }
+}
+
+TEST(TaskGraph, LayersAreLongestPathDepth) {
+  const TaskGraph g = diamond();
+  const auto layers = g.layers();
+  EXPECT_EQ(layers[0], 0);
+  EXPECT_EQ(layers[1], 1);
+  EXPECT_EQ(layers[2], 1);
+  EXPECT_EQ(layers[3], 2);
+}
+
+TEST(TaskGraph, CriticalPathPicksHeaviestChain) {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task(1, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const std::vector<double> cost{1.0, 5.0, 1.0, 1.0};
+  const auto cp = g.critical_path(cost, 0.0);
+  const std::vector<int> expected{0, 1, 3};
+  EXPECT_EQ(cp, expected);
+}
+
+TEST(TaskGraph, CriticalPathIncludesEdgeCosts) {
+  // With a large per-edge cost, a longer chain beats a heavier single hop.
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task(1, 1.0);
+  g.add_edge(0, 3, 1.0);  // short chain: 0 → 3
+  g.add_edge(0, 1, 1.0);  // long chain: 0 → 1 → 2... build it:
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const std::vector<double> cost{1.0, 1.0, 1.0, 1.0};
+  // Zero edge cost: both chains into 3 tie on node count; longest wins (4 nodes).
+  const auto cp0 = g.critical_path(cost, 0.0);
+  EXPECT_EQ(cp0.size(), 4u);
+  // Huge edge cost also favours the chain with more edges.
+  const auto cp1 = g.critical_path(cost, 100.0);
+  EXPECT_EQ(cp1.size(), 4u);
+}
+
+TEST(TaskGraph, ReachesTransitively) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(g.reaches(0, 3));
+  EXPECT_TRUE(g.reaches(0, 0));
+  EXPECT_FALSE(g.reaches(1, 2));
+  EXPECT_FALSE(g.reaches(3, 0));
+}
+
+TEST(Duplication, EdgeExpansionFourWay) {
+  TaskGraph g;
+  g.add_task(100, 1.0);
+  g.add_task(100, 1.0);
+  g.add_edge(0, 1, 42.0);
+  const DuplicatedTaskSet d(g);
+  EXPECT_EQ(d.num_total(), 4);
+  ASSERT_EQ(d.edges().size(), 4u);
+  // i→j ungated; i+M→j gated by {i+M}; i→j+M by {j+M}; i+M→j+M by both.
+  std::set<std::pair<int, int>> seen;
+  for (const auto& e : d.edges()) {
+    seen.insert({e.from, e.to});
+    EXPECT_DOUBLE_EQ(e.bytes, 42.0);
+    for (const int gate : e.gates) EXPECT_TRUE(d.is_duplicate(gate));
+  }
+  const std::set<std::pair<int, int>> expected{{0, 1}, {2, 1}, {0, 3}, {2, 3}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Duplication, CopyMirrorsWcecAndDeadline) {
+  const TaskGraph g = diamond();
+  const DuplicatedTaskSet d(g);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(d.wcec(i + 4), d.wcec(i));
+    EXPECT_DOUBLE_EQ(d.deadline(i + 4), d.deadline(i));
+    EXPECT_EQ(d.original_of(i + 4), i);
+    EXPECT_EQ(d.duplicate_of(i), i + 4);
+    EXPECT_TRUE(d.is_duplicate(i + 4));
+    EXPECT_FALSE(d.is_duplicate(i));
+  }
+}
+
+TEST(Duplication, LayersSharedWithOriginal) {
+  const TaskGraph g = diamond();
+  const DuplicatedTaskSet d(g);
+  const auto layers = d.layers();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(layers[static_cast<std::size_t>(i + 4)], layers[static_cast<std::size_t>(i)]);
+}
+
+TEST(Duplication, DependsHonoursGates) {
+  TaskGraph g;
+  g.add_task(100, 1.0);
+  g.add_task(100, 1.0);
+  g.add_edge(0, 1, 1.0);
+  const DuplicatedTaskSet d(g);
+  std::vector<char> exists{1, 1, 0, 0};  // no copies
+  EXPECT_TRUE(d.depends(0, 1, exists));
+  EXPECT_FALSE(d.depends(2, 1, exists));  // copy absent
+  exists = {1, 1, 1, 0};                  // copy of task 0 exists
+  EXPECT_TRUE(d.depends(2, 1, exists));
+  EXPECT_FALSE(d.depends(0, 3, exists));  // copy of task 1 absent
+}
+
+TEST(Generator, Deterministic) {
+  GenParams params;
+  params.num_tasks = 12;
+  nd::Prng a(7), b(7);
+  const TaskGraph g1 = generate_layered(a, params);
+  const TaskGraph g2 = generate_layered(b, params);
+  ASSERT_EQ(g1.num_tasks(), g2.num_tasks());
+  ASSERT_EQ(g1.edges().size(), g2.edges().size());
+  for (std::size_t e = 0; e < g1.edges().size(); ++e) {
+    EXPECT_EQ(g1.edges()[e].from, g2.edges()[e].from);
+    EXPECT_EQ(g1.edges()[e].to, g2.edges()[e].to);
+    EXPECT_DOUBLE_EQ(g1.edges()[e].bytes, g2.edges()[e].bytes);
+  }
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSweep, GraphsAreWellFormed) {
+  nd::Prng prng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+  GenParams params;
+  params.num_tasks = 4 + GetParam() * 3;
+  params.width = 3;
+  const TaskGraph g = generate_layered(prng, params);
+  EXPECT_EQ(g.num_tasks(), params.num_tasks);
+  // Acyclic by construction (topo_order asserts internally).
+  EXPECT_EQ(g.topo_order().size(), static_cast<std::size_t>(params.num_tasks));
+  // Every non-source task has a predecessor; WCEC/deadline in range.
+  const auto layers = g.layers();
+  for (int i = 0; i < g.num_tasks(); ++i) {
+    if (layers[static_cast<std::size_t>(i)] > 0) {
+      EXPECT_GE(g.in_degree(i), 1);
+    }
+    EXPECT_GE(g.wcec(i), params.wcec_min);
+    EXPECT_LE(g.wcec(i), params.wcec_max);
+    EXPECT_GT(g.deadline(i), 0.0);
+  }
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.bytes, params.bytes_min);
+    EXPECT_LE(e.bytes, params.bytes_max);
+    EXPECT_LT(layers[static_cast<std::size_t>(e.from)], layers[static_cast<std::size_t>(e.to)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratorSweep, ::testing::Range(0, 10));
+
+}  // namespace

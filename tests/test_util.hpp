@@ -1,0 +1,50 @@
+// Shared helpers for deployment-level tests: small, fast problem instances.
+#pragma once
+
+#include <memory>
+
+#include "deploy/problem.hpp"
+
+namespace nd::test {
+
+struct TinySpec {
+  int num_tasks = 4;
+  int mesh_rows = 2;
+  int mesh_cols = 2;
+  int levels = 3;            ///< 3-level table keeps MILPs small
+  double r_th = 0.995;
+  double alpha = 3.0;
+  double lambda0 = 2e-5;     ///< strong enough that low levels need duplication
+  double d = 3.0;
+  std::uint64_t seed = 1;
+  double deadline_slack = 1.6;
+};
+
+/// Random layered instance on a small mesh with a reduced V/F table.
+inline std::unique_ptr<deploy::DeploymentProblem> tiny_problem(const TinySpec& spec) {
+  Prng prng(spec.seed);
+  task::GenParams gen;
+  gen.num_tasks = spec.num_tasks;
+  gen.width = 2;
+  gen.deadline_slack = spec.deadline_slack;
+  task::TaskGraph graph = task::generate_layered(prng, gen);
+
+  noc::MeshParams mesh;
+  mesh.rows = spec.mesh_rows;
+  mesh.cols = spec.mesh_cols;
+  mesh.seed = spec.seed + 99;
+
+  std::vector<dvfs::VfLevel> levels;
+  for (int l = 0; l < spec.levels; ++l) {
+    const double t = (spec.levels == 1) ? 1.0 : static_cast<double>(l) / (spec.levels - 1);
+    levels.push_back({0.70 + 0.5 * t, 1.0e9 + 2.0e9 * t});
+  }
+
+  auto p = std::make_unique<deploy::DeploymentProblem>(
+      std::move(graph), mesh, dvfs::VfTable(std::move(levels)),
+      reliability::FaultParams{spec.lambda0, spec.d}, spec.r_th, /*horizon=*/1.0);
+  p->set_horizon(p->horizon_for_alpha(spec.alpha));
+  return p;
+}
+
+}  // namespace nd::test

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "deploy/evaluate.hpp"
+#include "deploy/problem.hpp"
+#include "deploy/validate.hpp"
+#include "heuristic/phases.hpp"
+#include "sim/event_sim.hpp"
+#include "task/workloads.hpp"
+
+namespace {
+
+using nd::task::all_workloads;
+
+TEST(Workloads, CatalogIsComplete) {
+  const auto all = all_workloads();
+  ASSERT_EQ(all.size(), 4u);
+  for (const auto& w : all) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_FALSE(w.description.empty());
+    EXPECT_GE(w.graph.num_tasks(), 9);
+    EXPECT_FALSE(w.graph.edges().empty());
+  }
+}
+
+TEST(Workloads, ExpectedShapes) {
+  EXPECT_EQ(nd::task::workload_automotive_acc().num_tasks(), 12);
+  EXPECT_EQ(nd::task::workload_video_pipeline().num_tasks(), 9);
+  EXPECT_EQ(nd::task::workload_avionics_voting().num_tasks(), 13);
+  EXPECT_EQ(nd::task::workload_telecom_dataplane().num_tasks(), 16);
+}
+
+TEST(Workloads, AvionicsHasTripleRedundantLanes) {
+  const auto g = nd::task::workload_avionics_voting();
+  // Voter (node 6) has exactly three predecessors, the filter lanes.
+  EXPECT_EQ(g.in_degree(6), 3);
+}
+
+class WorkloadDeploy : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadDeploy, DeploysValidatesAndSimulates) {
+  const auto all = all_workloads();
+  const auto& w = all[static_cast<std::size_t>(GetParam())];
+  nd::noc::MeshParams mesh;  // 4x4
+  nd::task::TaskGraph graph = w.graph;
+  nd::deploy::DeploymentProblem p(std::move(graph), mesh, nd::dvfs::VfTable::typical6(),
+                                  nd::reliability::FaultParams{2e-5, 3.0}, 0.995, 1.0);
+  p.set_horizon(p.horizon_for_alpha(3.0));
+  const auto h = nd::heuristic::solve_heuristic(p);
+  ASSERT_TRUE(h.feasible) << w.name << ": " << h.why;
+  const auto val = nd::deploy::validate(p, h.solution);
+  EXPECT_TRUE(val.ok()) << w.name << ": " << val.summary();
+  const auto sim = nd::sim::simulate(p, h.solution);
+  EXPECT_TRUE(sim.ok()) << w.name;
+  const auto rep = nd::deploy::evaluate_energy(p, h.solution);
+  EXPECT_GT(rep.total(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDeploy, ::testing::Range(0, 4));
+
+TEST(Workloads, TelecomIsCommunicationHeavy) {
+  // The dataplane workload should have a clearly higher comm/comp ratio than
+  // the avionics one (its design intent).
+  auto make = [](nd::task::TaskGraph g) {
+    nd::noc::MeshParams mesh;
+    return std::make_unique<nd::deploy::DeploymentProblem>(
+        std::move(g), mesh, nd::dvfs::VfTable::typical6(),
+        nd::reliability::FaultParams{2e-5, 3.0}, 0.995, 1.0);
+  };
+  const auto telecom = make(nd::task::workload_telecom_dataplane());
+  const auto avionics = make(nd::task::workload_avionics_voting());
+  EXPECT_GT(telecom->mu_index(), avionics->mu_index());
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// nocdeploy command-line tool.
+//
+//   nocdeploy gen   --tasks 12 --rows 4 --cols 4 --alpha 1.5 --seed 7 -o prob.json
+//   nocdeploy solve --problem prob.json --method heuristic|annealing|optimal
+//                   [--time-limit 30] [-o sol.json] [--gantt] [--dot out.dot]
+//   nocdeploy validate --problem prob.json --solution sol.json
+//   nocdeploy simulate --problem prob.json --solution sol.json [--trials 100000]
+//
+// Exit status: 0 on success/valid, 1 on infeasible/invalid, 2 on usage error.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "deploy/evaluate.hpp"
+#include "deploy/export.hpp"
+#include "deploy/serialize.hpp"
+#include "deploy/validate.hpp"
+#include "heuristic/annealing.hpp"
+#include "heuristic/phases.hpp"
+#include "model/formulation.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/fault_injection.hpp"
+#include "task/generator.hpp"
+
+using namespace nd;  // NOLINT
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& def = "") const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double def) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? def : std::stod(it->second);
+  }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nocdeploy <gen|solve|validate|simulate> [flags]\n"
+               "  gen      --tasks N --rows R --cols C --alpha A --r-th X --lambda L\n"
+               "           --seed S -o problem.json\n"
+               "  solve    --problem P.json --method heuristic|annealing|optimal\n"
+               "           [--time-limit SEC] [-o solution.json] [--gantt] [--dot FILE]\n"
+               "  validate --problem P.json --solution S.json\n"
+               "  simulate --problem P.json --solution S.json [--trials N]\n");
+  return 2;
+}
+
+int cmd_gen(const Args& a) {
+  Prng prng(static_cast<std::uint64_t>(a.num("seed", 1)));
+  task::GenParams gen;
+  gen.num_tasks = static_cast<int>(a.num("tasks", 12));
+  gen.width = std::max(2, gen.num_tasks / 5);
+  noc::MeshParams mesh;
+  mesh.rows = static_cast<int>(a.num("rows", 4));
+  mesh.cols = static_cast<int>(a.num("cols", 4));
+  mesh.seed = static_cast<std::uint64_t>(a.num("seed", 1)) + 7777;
+  deploy::DeploymentProblem p(task::generate_layered(prng, gen), mesh,
+                              dvfs::VfTable::typical6(),
+                              reliability::FaultParams{a.num("lambda", 2e-5), 3.0},
+                              a.num("r-th", 0.995), 1.0);
+  p.set_horizon(p.horizon_for_alpha(a.num("alpha", 1.5)));
+  const std::string out = a.get("o", "problem.json");
+  deploy::write_file(out, deploy::problem_to_json(p).dump(2) + "\n");
+  std::printf("wrote %s (M=%d, %dx%d mesh, H=%.4f s)\n", out.c_str(), p.num_tasks(),
+              mesh.rows, mesh.cols, p.horizon());
+  return 0;
+}
+
+int report_and_save(const deploy::DeploymentProblem& p, const deploy::DeploymentSolution& s,
+                    const Args& a, double seconds) {
+  const auto rep = deploy::evaluate_energy(p, s);
+  const auto val = deploy::validate(p, s);
+  std::printf("deployment: E_max %.4f J, E_total %.4f J, phi %.3f, duplicates %d, %s "
+              "(solved in %.3f s)\n",
+              rep.max_proc(), rep.total(), rep.phi(), s.num_duplicates(p.num_tasks()),
+              val.ok() ? "valid" : "INVALID", seconds);
+  if (!val.ok()) std::printf("%s\n", val.summary().c_str());
+  if (!a.get("o").empty()) {
+    deploy::write_file(a.get("o"), deploy::solution_to_json(s).dump(2) + "\n");
+    std::printf("wrote %s\n", a.get("o").c_str());
+  }
+  if (a.flags.count("gantt") != 0) std::printf("\n%s", deploy::gantt_ascii(p, s).c_str());
+  if (!a.get("dot").empty()) {
+    deploy::write_file(a.get("dot"), deploy::deployment_to_dot(p, s));
+    std::printf("wrote %s\n", a.get("dot").c_str());
+  }
+  return val.ok() ? 0 : 1;
+}
+
+int cmd_solve(const Args& a) {
+  if (a.get("problem").empty()) return usage();
+  auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
+  const std::string method = a.get("method", "heuristic");
+  if (method == "heuristic") {
+    const auto res = heuristic::solve_heuristic(*p);
+    if (!res.feasible) {
+      std::printf("infeasible: %s\n", res.why.c_str());
+      return 1;
+    }
+    return report_and_save(*p, res.solution, a, res.seconds);
+  }
+  if (method == "annealing") {
+    heuristic::AnnealOptions opt;
+    opt.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+    opt.iterations = static_cast<int>(a.num("iters", 30000));
+    const auto res = heuristic::solve_annealing(*p, opt);
+    if (!res.feasible) {
+      std::printf("annealing found no feasible deployment\n");
+      return 1;
+    }
+    return report_and_save(*p, res.solution, a, res.seconds);
+  }
+  if (method == "optimal") {
+    const auto warm = heuristic::solve_heuristic(*p);
+    milp::MipOptions mopt;
+    mopt.time_limit_s = a.num("time-limit", 60.0);
+    const auto res =
+        model::solve_optimal(*p, {}, mopt, warm.feasible ? &warm.solution : nullptr);
+    std::printf("MILP status: %s, nodes %lld, lp-iters %d, bound %.6f, gap %.2f%%\n",
+                to_string(res.mip.status), static_cast<long long>(res.mip.nodes),
+                res.mip.lp_iterations, res.mip.best_bound, 100.0 * res.mip.gap());
+    if (!res.mip.has_solution()) return 1;
+    return report_and_save(*p, res.solution, a, res.mip.seconds);
+  }
+  return usage();
+}
+
+int cmd_validate(const Args& a) {
+  if (a.get("problem").empty() || a.get("solution").empty()) return usage();
+  auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
+  const auto s =
+      deploy::solution_from_json(json::parse(deploy::read_file(a.get("solution"))), *p);
+  const auto val = deploy::validate(*p, s);
+  std::printf("%s\n", val.summary().c_str());
+  return val.ok() ? 0 : 1;
+}
+
+int cmd_simulate(const Args& a) {
+  if (a.get("problem").empty() || a.get("solution").empty()) return usage();
+  auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
+  const auto s =
+      deploy::solution_from_json(json::parse(deploy::read_file(a.get("solution"))), *p);
+  const auto sim = sim::simulate(*p, s);
+  std::printf("event simulation: %s, makespan %.4f s (H %.4f s)\n",
+              sim.ok() ? "clean" : "ANOMALIES", sim.makespan, p->horizon());
+  for (const auto& an : sim.anomalies) std::printf("  anomaly: %s\n", an.c_str());
+  const int trials = static_cast<int>(a.num("trials", 100000));
+  const auto fc = sim::run_fault_injection(*p, s, trials, 2024);
+  std::printf("fault injection (%d trials): observed %.6f vs predicted %.6f (3sigma %.6f)\n",
+              fc.trials, fc.observed, fc.predicted, fc.conf3sigma);
+  return sim.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) {
+      key = key.substr(2);
+    } else if (key.rfind('-', 0) == 0) {
+      key = key.substr(1);
+    } else {
+      return usage();
+    }
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      a.flags[key] = argv[++i];
+    } else {
+      a.flags[key] = "";  // boolean flag
+    }
+  }
+  try {
+    if (a.command == "gen") return cmd_gen(a);
+    if (a.command == "solve") return cmd_solve(a);
+    if (a.command == "validate") return cmd_validate(a);
+    if (a.command == "simulate") return cmd_simulate(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
