@@ -1,0 +1,72 @@
+#include "analysis/diagnostics.hpp"
+
+#include <utility>
+
+#include "common/table.hpp"
+
+namespace nd::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+void Report::add(Severity severity, std::string code, std::string subject,
+                 std::string message) {
+  diags_.push_back(
+      {severity, std::move(code), std::move(subject), std::move(message)});
+}
+
+int Report::count(Severity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+int Report::count_code(const std::string& code) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+void Report::merge(const Report& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+std::string Report::to_table() const {
+  if (diags_.empty()) return {};
+  Table t({"severity", "code", "subject", "message"});
+  for (const Diagnostic& d : diags_) {
+    t.add_row({to_string(d.severity), d.code, d.subject, d.message});
+  }
+  return t.to_ascii();
+}
+
+json::Value Report::to_json() const {
+  json::Array arr;
+  for (const Diagnostic& d : diags_) {
+    arr.push_back(json::Object{{"severity", to_string(d.severity)},
+                               {"code", d.code},
+                               {"subject", d.subject},
+                               {"message", d.message}});
+  }
+  return json::Object{{"diagnostics", std::move(arr)},
+                      {"errors", num_errors()},
+                      {"warnings", num_warnings()}};
+}
+
+std::string Report::summary() const {
+  if (diags_.empty()) return "clean";
+  return std::to_string(num_errors()) + " error(s), " +
+         std::to_string(num_warnings()) + " warning(s)";
+}
+
+}  // namespace nd::analysis

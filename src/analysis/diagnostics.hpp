@@ -1,0 +1,99 @@
+// Structured diagnostics emitted by the pre-solve linters (src/analysis).
+//
+// Each finding is a Diagnostic{severity, code, subject, message}: `code` is a
+// stable kebab-case identifier (see codes:: below) that tests and tooling key
+// on, `subject` names the offending constraint/variable/task/level. A Report
+// collects diagnostics and renders them as an aligned ASCII table or JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace nd::analysis {
+
+enum class Severity { kInfo, kWarning, kError };
+
+const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string code;     ///< stable identifier, e.g. "bound-contradiction"
+  std::string subject;  ///< constraint / variable / task / level name
+  std::string message;  ///< human-readable detail
+};
+
+/// Stable diagnostic codes. Grouped by the linter that emits them.
+namespace codes {
+
+// lint_model (milp::Model / lp::Problem level)
+inline constexpr const char* kNonFiniteCoef = "nonfinite-coef";            // error
+inline constexpr const char* kHugeCoef = "huge-coef";                      // warning
+inline constexpr const char* kTinyCoef = "tiny-coef";                      // warning
+inline constexpr const char* kBoundContradiction = "bound-contradiction";  // error
+inline constexpr const char* kFreeVariable = "free-variable";              // error
+inline constexpr const char* kEmptyRow = "empty-row";                      // warning/error
+inline constexpr const char* kDuplicateRow = "duplicate-row";              // warning
+inline constexpr const char* kOrphanVariable = "orphan-variable";          // warning
+inline constexpr const char* kRowBadIndex = "row-bad-index";               // error
+inline constexpr const char* kRowInfeasible = "row-infeasible";            // error
+inline constexpr const char* kPropagationInfeasible = "propagation-infeasible";  // error
+
+// lint_task_graph (task-graph level)
+inline constexpr const char* kTaskSelfDep = "task-self-dep";               // error
+inline constexpr const char* kTaskDanglingEdge = "task-dangling-edge";     // error
+inline constexpr const char* kTaskDuplicateEdge = "task-duplicate-edge";   // warning
+inline constexpr const char* kTaskCycle = "task-cycle";                    // error
+inline constexpr const char* kTaskZeroWcec = "task-zero-wcec";             // warning
+inline constexpr const char* kTaskBadDeadline = "task-bad-deadline";       // error
+inline constexpr const char* kTaskBadBytes = "task-bad-bytes";             // error
+
+// lint_vf_levels (V/F-table level)
+inline constexpr const char* kVfEmpty = "vf-empty";                          // error
+inline constexpr const char* kVfNonPositive = "vf-nonpositive";              // error
+inline constexpr const char* kVfNonMonotoneFreq = "vf-non-monotone-freq";    // error
+inline constexpr const char* kVfNonMonotonePower = "vf-non-monotone-power";  // warning
+inline constexpr const char* kVfUnreachableLevel = "vf-unreachable-level";   // warning
+
+// lint_problem (deployment-problem level)
+inline constexpr const char* kProblemBadHorizon = "problem-bad-horizon";          // error
+inline constexpr const char* kProblemBadRth = "problem-bad-rth";                  // error
+inline constexpr const char* kProblemDeadlineUnmeetable = "deadline-unmeetable";  // error
+inline constexpr const char* kProblemRthUnreachable = "rth-unreachable";          // error
+
+}  // namespace codes
+
+class Report {
+ public:
+  void add(Severity severity, std::string code, std::string subject, std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+  [[nodiscard]] std::size_t size() const { return diags_.size(); }
+
+  [[nodiscard]] int count(Severity severity) const;
+  [[nodiscard]] int num_errors() const { return count(Severity::kError); }
+  [[nodiscard]] int num_warnings() const { return count(Severity::kWarning); }
+
+  /// Number of diagnostics carrying `code`.
+  [[nodiscard]] int count_code(const std::string& code) const;
+  [[nodiscard]] bool has(const std::string& code) const { return count_code(code) > 0; }
+
+  /// Append all diagnostics of `other`.
+  void merge(const Report& other);
+
+  /// Aligned ASCII table (empty string when there is nothing to report).
+  [[nodiscard]] std::string to_table() const;
+
+  /// {"diagnostics": [...], "errors": N, "warnings": N}
+  [[nodiscard]] json::Value to_json() const;
+
+  /// One-line summary, e.g. "2 error(s), 1 warning(s)" or "clean".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace nd::analysis

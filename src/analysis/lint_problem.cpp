@@ -1,0 +1,219 @@
+#include "analysis/lint_problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "reliability/fault_model.hpp"
+
+namespace nd::analysis {
+
+namespace {
+
+std::string task_name(int i) { return "task" + std::to_string(i); }
+
+std::string edge_name(const task::Edge& e) {
+  return "edge " + std::to_string(e.from) + "->" + std::to_string(e.to);
+}
+
+std::string level_name(int l) { return "level" + std::to_string(l); }
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Report lint_task_edges(int num_tasks, const std::vector<task::Edge>& edges) {
+  Report rep;
+  std::set<std::pair<int, int>> seen;
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(std::max(num_tasks, 0)));
+  std::vector<int> indeg(static_cast<std::size_t>(std::max(num_tasks, 0)), 0);
+
+  for (const task::Edge& e : edges) {
+    const bool dangling =
+        e.from < 0 || e.from >= num_tasks || e.to < 0 || e.to >= num_tasks;
+    if (dangling) {
+      rep.add(Severity::kError, codes::kTaskDanglingEdge, edge_name(e),
+              "endpoint outside [0, " + std::to_string(num_tasks) + ")");
+      continue;
+    }
+    if (e.from == e.to) {
+      rep.add(Severity::kError, codes::kTaskSelfDep, edge_name(e),
+              "task depends on itself");
+      continue;
+    }
+    if (!(e.bytes >= 0.0) || !std::isfinite(e.bytes)) {
+      rep.add(Severity::kError, codes::kTaskBadBytes, edge_name(e),
+              "payload " + fmt(e.bytes) + " must be finite and non-negative");
+    }
+    if (!seen.emplace(e.from, e.to).second) {
+      rep.add(Severity::kWarning, codes::kTaskDuplicateEdge, edge_name(e),
+              "duplicate dependency");
+      continue;  // count the edge once for the cycle check
+    }
+    succ[static_cast<std::size_t>(e.from)].push_back(e.to);
+    ++indeg[static_cast<std::size_t>(e.to)];
+  }
+
+  // Kahn's algorithm over the well-formed edges; leftovers form cycles.
+  std::vector<int> queue;
+  for (int i = 0; i < num_tasks; ++i) {
+    if (indeg[static_cast<std::size_t>(i)] == 0) queue.push_back(i);
+  }
+  int visited = 0;
+  while (!queue.empty()) {
+    const int i = queue.back();
+    queue.pop_back();
+    ++visited;
+    for (const int j : succ[static_cast<std::size_t>(i)]) {
+      if (--indeg[static_cast<std::size_t>(j)] == 0) queue.push_back(j);
+    }
+  }
+  if (visited < num_tasks) {
+    std::string members;
+    for (int i = 0; i < num_tasks; ++i) {
+      if (indeg[static_cast<std::size_t>(i)] > 0) {
+        if (!members.empty()) members += ", ";
+        members += std::to_string(i);
+      }
+    }
+    rep.add(Severity::kError, codes::kTaskCycle, "graph",
+            "dependency cycle through tasks {" + members + "}");
+  }
+  return rep;
+}
+
+Report lint_task_graph(const task::TaskGraph& graph) {
+  Report rep = lint_task_edges(graph.num_tasks(), graph.edges());
+  for (int i = 0; i < graph.num_tasks(); ++i) {
+    if (graph.wcec(i) == 0) {
+      rep.add(Severity::kWarning, codes::kTaskZeroWcec, task_name(i),
+              "zero worst-case execution cycles");
+    }
+    const double d = graph.deadline(i);
+    if (!(d > 0.0) || !std::isfinite(d)) {
+      rep.add(Severity::kError, codes::kTaskBadDeadline, task_name(i),
+              "deadline " + fmt(d) + " must be finite and positive");
+    }
+  }
+  return rep;
+}
+
+Report lint_vf_levels(const std::vector<dvfs::VfLevel>& levels,
+                      const dvfs::PowerParams& params) {
+  Report rep;
+  if (levels.empty()) {
+    rep.add(Severity::kError, codes::kVfEmpty, "table", "no V/F levels");
+    return rep;
+  }
+  const int n = static_cast<int>(levels.size());
+  bool well_formed = true;
+  for (int l = 0; l < n; ++l) {
+    const dvfs::VfLevel& lv = levels[static_cast<std::size_t>(l)];
+    if (!(lv.voltage > 0.0) || !(lv.freq > 0.0) || !std::isfinite(lv.voltage) ||
+        !std::isfinite(lv.freq)) {
+      rep.add(Severity::kError, codes::kVfNonPositive, level_name(l),
+              "voltage " + fmt(lv.voltage) + " V / frequency " + fmt(lv.freq) +
+                  " Hz must be positive and finite");
+      well_formed = false;
+    }
+    if (l > 0 &&
+        lv.freq <= levels[static_cast<std::size_t>(l - 1)].freq) {
+      rep.add(Severity::kError, codes::kVfNonMonotoneFreq, level_name(l),
+              "frequency " + fmt(lv.freq) + " Hz does not increase over level " +
+                  std::to_string(l - 1) + " (" +
+                  fmt(levels[static_cast<std::size_t>(l - 1)].freq) + " Hz)");
+      well_formed = false;
+    }
+  }
+  if (!well_formed) return rep;
+
+  // Power via the model; needs a valid table, hence the gate above.
+  const dvfs::VfTable table(levels, params);
+  for (int l = 1; l < n; ++l) {
+    if (table.power(l) <= table.power(l - 1)) {
+      rep.add(Severity::kWarning, codes::kVfNonMonotonePower, level_name(l),
+              "power " + fmt(table.power(l)) + " W does not increase over level " +
+                  std::to_string(l - 1) + " (" + fmt(table.power(l - 1)) +
+                  " W); the voltage assignment is suspicious");
+    }
+  }
+  // A level is unreachable (never worth selecting) when another level is at
+  // least as fast AND at least as energy-efficient per cycle, strictly better
+  // in one of the two.
+  for (int l = 0; l < n; ++l) {
+    const double epc_l = table.power(l) / table.level(l).freq;
+    for (int k = 0; k < n; ++k) {
+      if (k == l) continue;
+      const double epc_k = table.power(k) / table.level(k).freq;
+      const bool faster_eq = table.level(k).freq >= table.level(l).freq;
+      const bool cheaper_eq = epc_k <= epc_l;
+      const bool strictly =
+          table.level(k).freq > table.level(l).freq || epc_k < epc_l;
+      if (faster_eq && cheaper_eq && strictly) {
+        rep.add(Severity::kWarning, codes::kVfUnreachableLevel, level_name(l),
+                "dominated by level " + std::to_string(k) +
+                    " (faster or equal at lower or equal energy per cycle)");
+        break;
+      }
+    }
+  }
+  return rep;
+}
+
+Report lint_problem(const deploy::DeploymentProblem& problem) {
+  Report rep = lint_task_graph(problem.graph());
+
+  const dvfs::VfTable& vf = problem.vf();
+  {
+    std::vector<dvfs::VfLevel> levels;
+    levels.reserve(static_cast<std::size_t>(vf.num_levels()));
+    for (int l = 0; l < vf.num_levels(); ++l) levels.push_back(vf.level(l));
+    rep.merge(lint_vf_levels(levels, vf.params()));
+  }
+
+  if (!(problem.horizon() > 0.0) || !std::isfinite(problem.horizon())) {
+    rep.add(Severity::kError, codes::kProblemBadHorizon, "horizon",
+            "H = " + fmt(problem.horizon()) + " must be finite and positive");
+  }
+  if (!(problem.r_th() > 0.0) || problem.r_th() > 1.0) {
+    rep.add(Severity::kError, codes::kProblemBadRth, "r_th",
+            "R_th = " + fmt(problem.r_th()) + " must lie in (0, 1]");
+  }
+
+  const task::TaskGraph& g = problem.graph();
+  for (int i = 0; i < g.num_tasks(); ++i) {
+    const double fastest = vf.exec_time(g.wcec(i), vf.num_levels() - 1);
+    const double d = g.deadline(i);
+    if (std::isfinite(d) && d > 0.0 && fastest > d * (1.0 + 1e-9)) {
+      rep.add(Severity::kError, codes::kProblemDeadlineUnmeetable, task_name(i),
+              "needs " + fmt(fastest) + " s even at f_max but deadline is " + fmt(d) +
+                  " s");
+    }
+  }
+
+  if (problem.r_th() > 0.0 && problem.r_th() <= 1.0) {
+    const reliability::FaultModel& fault = problem.fault();
+    for (int i = 0; i < g.num_tasks(); ++i) {
+      double best = 0.0;
+      for (int l = 0; l < vf.num_levels(); ++l) {
+        best = std::max(best, fault.task_reliability(g.wcec(i), l));
+      }
+      const double duplicated = reliability::FaultModel::duplicated(best, best);
+      if (duplicated < problem.r_th()) {
+        rep.add(Severity::kError, codes::kProblemRthUnreachable, task_name(i),
+                "best duplicated reliability " + fmt(duplicated) +
+                    " still misses R_th = " + fmt(problem.r_th()));
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace nd::analysis

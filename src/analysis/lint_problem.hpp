@@ -1,0 +1,45 @@
+// Pre-solve diagnostics over a deployment problem and its raw ingredients.
+//
+// The raw entry points (lint_task_edges, lint_vf_levels) exist because the
+// strongly-validating constructors (task::TaskGraph, dvfs::VfTable) reject
+// most defects outright: external descriptions (JSON imports, generators
+// under development) can be linted *before* construction, and tests can
+// exercise every defect class without fighting the constructors.
+//
+// Detected defect classes (codes in diagnostics.hpp):
+//   task graph: self-dependencies, dangling edges (endpoint out of range),
+//               duplicate edges, cycles, zero WCEC, non-positive/NaN
+//               deadlines, negative/NaN edge payloads
+//   V/F table:  empty table, non-positive voltage/frequency, non-monotone
+//               frequency, non-monotone power, unreachable (dominated)
+//               levels — higher energy-per-cycle at lower-or-equal speed
+//   problem:    non-positive/NaN horizon, R_th outside (0, 1], deadlines
+//               unmeetable even at f_max, R_th unreachable even duplicated
+//               at the most reliable level
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "deploy/problem.hpp"
+#include "dvfs/vf_table.hpp"
+#include "task/task_graph.hpp"
+
+namespace nd::analysis {
+
+/// Lint a raw edge list over `num_tasks` tasks (indices 0..num_tasks-1).
+Report lint_task_edges(int num_tasks, const std::vector<task::Edge>& edges);
+
+/// Lint a constructed task graph (edge checks plus WCEC/deadline sanity).
+Report lint_task_graph(const task::TaskGraph& graph);
+
+/// Lint raw V/F levels with the power model applied.
+Report lint_vf_levels(const std::vector<dvfs::VfLevel>& levels,
+                      const dvfs::PowerParams& params = {});
+
+/// Lint a full deployment problem: graph + V/F checks plus the cross-cutting
+/// ones (horizon, R_th, deadline feasibility against f_max, reliability
+/// reachability under duplication).
+Report lint_problem(const deploy::DeploymentProblem& problem);
+
+}  // namespace nd::analysis

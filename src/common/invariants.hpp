@@ -1,0 +1,30 @@
+// Debug-mode invariant instrumentation for the solver hot paths.
+//
+// ND_INVARIANT compiles to *nothing* unless the build defines
+// NOCDEPLOY_INVARIANTS=1 (CMake option NOCDEPLOY_INVARIANTS, enabled by the
+// asan-ubsan and tsan presets), so Release binaries and perf-sensitive
+// benches are bit-for-bit unaffected. Supporting bookkeeping (counters,
+// saved objective values) must be guarded with `#if ND_INVARIANTS_ENABLED`
+// so it too vanishes from instrumented-off builds.
+//
+// Contrast with common/check.hpp: ND_REQUIRE/ND_ASSERT stay on in every
+// build and guard user-facing contracts; ND_INVARIANT guards internal
+// algorithmic properties that are too expensive to verify in production
+// (per-pivot basis scans, per-node bound comparisons).
+#pragma once
+
+#include "common/check.hpp"
+
+#ifndef NOCDEPLOY_INVARIANTS
+#define NOCDEPLOY_INVARIANTS 0
+#endif
+
+#if NOCDEPLOY_INVARIANTS
+#define ND_INVARIANTS_ENABLED 1
+#define ND_INVARIANT(expr, msg) ND_ASSERT(expr, msg)
+#else
+#define ND_INVARIANTS_ENABLED 0
+#define ND_INVARIANT(expr, msg) \
+  do {                          \
+  } while (false)
+#endif

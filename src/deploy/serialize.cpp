@@ -100,19 +100,35 @@ std::unique_ptr<DeploymentProblem> problem_from_json(const json::Value& v) {
                                              v.at("horizon").as_number());
 }
 
+// GCC 12's -Wmaybe-uninitialized misfires on the std::variant moves inlined
+// from json::Value here (GCC PR 105562); the suppression is scoped to this
+// one function.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 json::Value solution_to_json(const DeploymentSolution& s) {
   auto ints = [](const auto& vec) {
     Array a;
+    a.reserve(vec.size());
     for (const auto x : vec) a.push_back(Value(static_cast<double>(x)));
     return Value(std::move(a));
   };
   Array start, end;
   for (const double t : s.start) start.push_back(Value(t));
   for (const double t : s.end) end.push_back(Value(t));
-  return Object{{"exists", ints(s.exists)},     {"level", ints(s.level)},
-                {"proc", ints(s.proc)},         {"start", Value(std::move(start))},
-                {"end", Value(std::move(end))}, {"path_choice", ints(s.path_choice)}};
+  Object o;
+  o.emplace_back("exists", ints(s.exists));
+  o.emplace_back("level", ints(s.level));
+  o.emplace_back("proc", ints(s.proc));
+  o.emplace_back("start", Value(std::move(start)));
+  o.emplace_back("end", Value(std::move(end)));
+  o.emplace_back("path_choice", ints(s.path_choice));
+  return Value(std::move(o));
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 DeploymentSolution solution_from_json(const json::Value& v, const DeploymentProblem& p) {
   DeploymentSolution s = DeploymentSolution::empty(p);

@@ -29,6 +29,35 @@ bool past_deadline(const std::chrono::steady_clock::time_point& deadline, int it
 }
 }  // namespace
 
+#if ND_INVARIANTS_ENABLED
+double Simplex::phase_objective() const {
+  double v = 0.0;
+  for (int c = 0; c < nt_; ++c) {
+    v += cost_[static_cast<std::size_t>(c)] * xval_[static_cast<std::size_t>(c)];
+  }
+  return v;
+}
+
+void Simplex::check_basis_consistency() const {
+  std::vector<char> in_basis(static_cast<std::size_t>(nt_), 0);
+  for (int r = 0; r < m_; ++r) {
+    const int b = basis_[static_cast<std::size_t>(r)];
+    ND_INVARIANT(b >= 0 && b < nt_, "basis column out of range");
+    ND_INVARIANT(in_basis[static_cast<std::size_t>(b)] == 0,
+                 "column appears in the basis twice");
+    in_basis[static_cast<std::size_t>(b)] = 1;
+    ND_INVARIANT(stat_[static_cast<std::size_t>(b)] == VarStatus::kBasic,
+                 "basic column not marked kBasic");
+  }
+  for (int c = 0; c < nt_; ++c) {
+    if (stat_[static_cast<std::size_t>(c)] == VarStatus::kBasic) {
+      ND_INVARIANT(in_basis[static_cast<std::size_t>(c)] == 1,
+                   "kBasic column missing from the basis");
+    }
+  }
+}
+#endif
+
 Simplex::Simplex(const Problem& p) : Simplex(p, Options()) {}
 
 Simplex::Simplex(const Problem& p, Options opt) : prob_(&p), opt_(opt) {
@@ -316,6 +345,13 @@ bool Simplex::is_nonbasic_eligible_primal(int j, double* dir) const {
 SolveStatus Simplex::primal_loop() {
   int iters = 0;
   const int bland_after_iters = std::max(500, 4 * m_);
+#if ND_INVARIANTS_ENABLED
+  // Phase objective monotonicity: in the primal simplex the current-phase
+  // objective never increases (degenerate steps leave it unchanged). Large
+  // violations indicate a pricing/ratio-test bug rather than drift.
+  double last_obj = phase_objective();
+  bland_run_ = 0;
+#endif
   while (iters++ < opt_.max_iters) {
     if (past_deadline(opt_.deadline, iters)) return SolveStatus::kIterLimit;
     const bool bland = degen_run_ > opt_.bland_after || iters > bland_after_iters;
@@ -396,9 +432,29 @@ SolveStatus Simplex::primal_loop() {
       pivot(leave_row, q, leave_target);
     }
 
+#if ND_INVARIANTS_ENABLED
+    check_basis_consistency();
+    const double now_obj = phase_objective();
+    ND_INVARIANT(now_obj <= last_obj + 1e-5 * (1.0 + std::abs(last_obj)),
+                 "primal phase objective increased across a pivot");
+    last_obj = now_obj;
+    if (bland && degen_run_ > 0) {
+      ++bland_run_;
+      // Bland's rule guarantees no cycling; a degenerate run this long under
+      // Bland pricing means the anti-cycling machinery is broken.
+      ND_INVARIANT(bland_run_ <= 10 * (nt_ + m_) + 10000,
+                   "suspiciously long degenerate run under Bland pivoting");
+    } else {
+      bland_run_ = 0;
+    }
+#endif
+
     if (opt_.recheck_every > 0 && total_iters_ % opt_.recheck_every == 0 &&
         residual() > 1e-6) {
       if (!rebuild_tableau()) return SolveStatus::kIterLimit;
+#if ND_INVARIANTS_ENABLED
+      last_obj = phase_objective();  // refactorization may shift values slightly
+#endif
     }
   }
   return SolveStatus::kIterLimit;
@@ -468,6 +524,9 @@ SolveStatus Simplex::dual_loop() {
     }
     if (q < 0) return SolveStatus::kInfeasible;
     pivot(r, q, target);
+#if ND_INVARIANTS_ENABLED
+    check_basis_consistency();
+#endif
 
     if (opt_.recheck_every > 0 && total_iters_ % opt_.recheck_every == 0 &&
         residual() > 1e-6) {
@@ -479,6 +538,9 @@ SolveStatus Simplex::dual_loop() {
 
 SolveStatus Simplex::solve() {
   build_initial_basis();
+#if ND_INVARIANTS_ENABLED
+  check_basis_consistency();
+#endif
   if (phase1_) {
     compute_reduced_costs();
     const SolveStatus s1 = primal_loop();

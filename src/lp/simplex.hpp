@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/invariants.hpp"
 #include "lp/problem.hpp"
 
 namespace nd::lp {
@@ -113,6 +114,14 @@ class Simplex {
 
   [[nodiscard]] bool is_nonbasic_eligible_primal(int j, double* dir) const;
 
+#if ND_INVARIANTS_ENABLED
+  /// Objective of the current phase (cost_ · xval_ over every column).
+  [[nodiscard]] double phase_objective() const;
+  /// Basis/status cross-consistency: every basis_[r] is a distinct in-range
+  /// column marked kBasic, and no other column is marked kBasic.
+  void check_basis_consistency() const;
+#endif
+
   const Problem* prob_;
   Options opt_;
   int n_ = 0;   // structural vars
@@ -134,6 +143,9 @@ class Simplex {
   bool basis_valid_ = false;
   int degen_run_ = 0;
   int total_iters_ = 0;
+#if ND_INVARIANTS_ENABLED
+  int bland_run_ = 0;  ///< consecutive degenerate pivots under Bland pricing
+#endif
 };
 
 /// One-shot convenience: build an engine, solve, return (status, obj, x).

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/invariants.hpp"
 #include "common/stopwatch.hpp"
 #include "lp/simplex.hpp"
 
@@ -129,6 +130,26 @@ MipResult solve(const Model& model, const MipOptions& opt) {
   bool hit_limit = (lp_status == lp::SolveStatus::kIterLimit);
   bool node_solved = (lp_status == lp::SolveStatus::kOptimal);
 
+#if ND_INVARIANTS_ENABLED
+  // The incumbent may only ever strictly improve, and every promoted point
+  // must be MIP-feasible (the cheap checks happen at promotion time; this
+  // re-verifies after the fact so a corrupted promotion path cannot slip by).
+  double last_incumbent = std::numeric_limits<double>::infinity();
+  const auto check_incumbent = [&]() {
+    ND_INVARIANT(incumbent_obj < last_incumbent, "incumbent objective failed to improve");
+    ND_INVARIANT(model.is_mip_feasible(res.x, std::max(1e-5, opt.int_tol)),
+                 "incumbent is not MIP-feasible");
+    last_incumbent = incumbent_obj;
+  };
+  if (have_incumbent) check_incumbent();
+  // A child's LP bound can never beat its parent's: the child feasible
+  // region is a subset of the parent's.
+  const auto check_child_bound = [&](double parent_obj) {
+    ND_INVARIANT(engine.objective() >= parent_obj - 1e-5 * (1.0 + std::abs(parent_obj)),
+                 "child LP bound better than its parent node's");
+  };
+#endif
+
   auto cutoff = [&]() {
     if (!have_incumbent) return std::numeric_limits<double>::infinity();
     return incumbent_obj - std::max(opt.abs_gap, opt.rel_gap * std::abs(incumbent_obj));
@@ -164,6 +185,9 @@ MipResult solve(const Model& model, const MipOptions& opt) {
           incumbent_obj = cand_obj;
           res.x = std::move(candidate);
           have_incumbent = true;
+#if ND_INVARIANTS_ENABLED
+          check_incumbent();
+#endif
         }
         if (cand_obj <= node_obj + std::max(opt.abs_gap, opt.rel_gap * std::abs(cand_obj))) {
           prune = true;  // subtree cannot beat this candidate
@@ -188,6 +212,9 @@ MipResult solve(const Model& model, const MipOptions& opt) {
           incumbent_obj = node_obj;
           res.x = std::move(x);
           have_incumbent = true;
+#if ND_INVARIANTS_ENABLED
+          check_incumbent();
+#endif
         }
         prune = true;
       }
@@ -231,6 +258,9 @@ MipResult solve(const Model& model, const MipOptions& opt) {
         break;
       }
       node_solved = (s == lp::SolveStatus::kOptimal);
+#if ND_INVARIANTS_ENABLED
+      if (node_solved) check_child_bound(f.node_obj);
+#endif
       continue;
     }
 
@@ -249,6 +279,9 @@ MipResult solve(const Model& model, const MipOptions& opt) {
           break;
         }
         node_solved = (s == lp::SolveStatus::kOptimal);
+#if ND_INVARIANTS_ENABLED
+        if (node_solved) check_child_bound(f.node_obj);
+#endif
         descended = true;
         break;
       }

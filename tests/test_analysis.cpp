@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/lint_model.hpp"
+#include "analysis/lint_problem.hpp"
+#include "common/prng.hpp"
+#include "model/formulation.hpp"
+#include "task/generator.hpp"
+#include "task/workloads.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+namespace codes = nd::analysis::codes;
+using nd::analysis::Report;
+using nd::analysis::Severity;
+using nd::lp::Sense;
+using nd::milp::Model;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------------
+// Report plumbing
+
+TEST(Diagnostics, ReportCountsAndPrinters) {
+  Report rep;
+  EXPECT_TRUE(rep.empty());
+  EXPECT_EQ(rep.summary(), "clean");
+  rep.add(Severity::kError, "some-code", "x0", "broken");
+  rep.add(Severity::kWarning, "other-code", "row1", "odd");
+  EXPECT_EQ(rep.num_errors(), 1);
+  EXPECT_EQ(rep.num_warnings(), 1);
+  EXPECT_EQ(rep.count_code("some-code"), 1);
+  EXPECT_TRUE(rep.has("other-code"));
+  EXPECT_FALSE(rep.has("missing-code"));
+
+  const std::string table = rep.to_table();
+  EXPECT_NE(table.find("some-code"), std::string::npos);
+  EXPECT_NE(table.find("broken"), std::string::npos);
+
+  const auto j = rep.to_json();
+  EXPECT_EQ(j.at("errors").as_number(), 1.0);
+  EXPECT_EQ(j.at("warnings").as_number(), 1.0);
+  EXPECT_EQ(j.at("diagnostics").as_array().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Model linter: one test per defect class, asserting the exact code.
+
+// lp::Problem / milp::Model validate eagerly, so NaN coefficients, infinite
+// rhs, inverted bounds etc. can only reach the linter through the raw entry
+// point — exactly the pre-construction path JSON imports would use.
+TEST(LintModel, NanCoefficient) {
+  nd::analysis::RawModel m;
+  m.vars = {{0.0, 1.0, 1.0, false, "a"}, {0.0, 1.0, 0.0, false, "b"}};
+  m.rows = {{{{0, kNaN}, {1, 1.0}}, Sense::LE, 1.0}};
+  const auto rep = nd::analysis::lint_raw_model(m);
+  EXPECT_GE(rep.count_code(codes::kNonFiniteCoef), 1);
+  EXPECT_GT(rep.num_errors(), 0);
+}
+
+TEST(LintModel, InfiniteRhs) {
+  nd::analysis::RawModel m;
+  m.vars = {{0.0, 1.0, 1.0, false, "a"}};
+  m.rows = {{{{0, 1.0}}, Sense::LE, kInf}};
+  const auto rep = nd::analysis::lint_raw_model(m);
+  EXPECT_GE(rep.count_code(codes::kNonFiniteCoef), 1);
+}
+
+TEST(LintModel, FreeVariableAndNanObjective) {
+  nd::analysis::RawModel m;
+  m.vars = {{-kInf, kInf, 0.0, false, "free"}, {0.0, 1.0, kNaN, false, "badobj"}};
+  const auto rep = nd::analysis::lint_raw_model(m);
+  EXPECT_EQ(rep.count_code(codes::kFreeVariable), 1);
+  EXPECT_GE(rep.count_code(codes::kNonFiniteCoef), 1);
+}
+
+TEST(LintModel, RowReferencesUnknownVariable) {
+  nd::analysis::RawModel m;
+  m.vars = {{0.0, 1.0, 1.0, false, "a"}};
+  m.rows = {{{{0, 1.0}, {7, 2.0}}, Sense::LE, 1.0}, {{{-1, 1.0}}, Sense::GE, 0.0}};
+  const auto rep = nd::analysis::lint_raw_model(m);
+  EXPECT_EQ(rep.count_code(codes::kRowBadIndex), 2);
+  EXPECT_GT(rep.num_errors(), 0);
+}
+
+TEST(LintModel, HugeAndTinyCoefficients) {
+  Model m;
+  const int a = m.add_cont(0.0, 1.0, 1.0, "a");
+  const int b = m.add_cont(0.0, 1.0, 1.0, "b");
+  m.add_row({{a, 5.0e13}, {b, 1.0e-14}}, Sense::LE, 1.0);
+  const auto rep = nd::analysis::lint_model(m);
+  EXPECT_EQ(rep.count_code(codes::kHugeCoef), 1);
+  EXPECT_EQ(rep.count_code(codes::kTinyCoef), 1);
+  EXPECT_EQ(rep.num_errors(), 0);  // magnitude defects are warnings
+}
+
+TEST(LintModel, ContradictoryBounds) {
+  nd::analysis::RawModel m;
+  m.vars = {{2.0, 1.0, 0.0, false, "bad"}, {0.0, 1.0, 1.0, false, "a"}};
+  m.rows = {{{{1, 1.0}}, Sense::LE, 1.0}};
+  const auto rep = nd::analysis::lint_raw_model(m);
+  EXPECT_GE(rep.count_code(codes::kBoundContradiction), 1);
+  EXPECT_GT(rep.num_errors(), 0);
+}
+
+TEST(LintModel, IntegerWindowWithoutIntegerPoint) {
+  Model m;
+  m.add_int(0.3, 0.7, 1.0, "z");  // no integer inside [0.3, 0.7]
+  const auto rep = nd::analysis::lint_model(m);
+  EXPECT_GE(rep.count_code(codes::kBoundContradiction), 1);
+}
+
+TEST(LintModel, EmptyRow) {
+  Model m;
+  const int a = m.add_cont(0.0, 1.0, 1.0, "a");
+  m.add_row({{a, 0.0}}, Sense::LE, 1.0);   // all-zero => empty, satisfiable
+  m.add_row({{a, 0.0}}, Sense::GE, 2.0);   // empty and 0 >= 2 is false
+  const auto rep = nd::analysis::lint_model(m);
+  EXPECT_EQ(rep.count_code(codes::kEmptyRow), 2);
+  EXPECT_EQ(rep.num_errors(), 1);  // only the violated one is an error
+}
+
+TEST(LintModel, DuplicateRow) {
+  Model m;
+  const int a = m.add_cont(0.0, 1.0, 1.0, "a");
+  const int b = m.add_cont(0.0, 1.0, 1.0, "b");
+  m.add_row({{a, 1.0}, {b, 2.0}}, Sense::LE, 3.0);
+  // Same normalized row: different order, split coefficient.
+  m.add_row({{b, 2.0}, {a, 0.5}, {a, 0.5}}, Sense::LE, 3.0);
+  // Same coefficients but different sense: NOT a duplicate.
+  m.add_row({{a, 1.0}, {b, 2.0}}, Sense::GE, 3.0);
+  const auto rep = nd::analysis::lint_model(m);
+  EXPECT_EQ(rep.count_code(codes::kDuplicateRow), 1);
+}
+
+TEST(LintModel, OrphanVariable) {
+  Model m;
+  const int a = m.add_cont(0.0, 1.0, 1.0, "a");
+  m.add_cont(0.0, 1.0, 0.0, "orphan");         // no row, no objective
+  m.add_cont(0.0, 1.0, 5.0, "in_objective");   // objective keeps it relevant
+  m.add_var(0.0, 0.0, 0.0, true, "frozen");    // presolve-fixed: deliberate
+  m.add_row({{a, 1.0}}, Sense::LE, 1.0);
+  const auto rep = nd::analysis::lint_model(m);
+  EXPECT_EQ(rep.count_code(codes::kOrphanVariable), 1);
+}
+
+TEST(LintModel, TriviallyInfeasibleRow) {
+  Model m;
+  const int a = m.add_cont(0.0, 4.0, 1.0, "a");
+  const int b = m.add_cont(0.0, 4.0, 1.0, "b");
+  m.add_row({{a, 1.0}, {b, 1.0}}, Sense::GE, 10.0);  // max activity 8 < 10
+  const auto rep = nd::analysis::lint_model(m);
+  EXPECT_EQ(rep.count_code(codes::kRowInfeasible), 1);
+  EXPECT_GT(rep.num_errors(), 0);
+}
+
+TEST(LintModel, PropagationFindsContradictoryImpliedBounds) {
+  Model m;
+  const int a = m.add_cont(0.0, 10.0, 1.0, "a");
+  // Individually feasible rows whose implied bounds collide: x <= 2 and x >= 5.
+  m.add_row({{a, 1.0}}, Sense::LE, 2.0);
+  m.add_row({{a, 1.0}}, Sense::GE, 5.0);
+  const auto rep = nd::analysis::lint_model(m);
+  EXPECT_EQ(rep.count_code(codes::kRowInfeasible), 0);
+  EXPECT_EQ(rep.count_code(codes::kPropagationInfeasible), 1);
+}
+
+TEST(LintModel, CleanHandBuiltModel) {
+  Model m;
+  const int a = m.add_bin(-10.0, "a");
+  const int b = m.add_bin(-6.0, "b");
+  const int c = m.add_cont(0.0, 3.0, 1.0, "c");
+  m.add_row({{a, 1.0}, {b, 1.0}}, Sense::LE, 1.0);
+  m.add_row({{a, 2.0}, {c, 1.0}}, Sense::GE, 1.0);
+  const auto rep = nd::analysis::lint_model(m);
+  EXPECT_TRUE(rep.empty()) << rep.to_table();
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph linter
+
+TEST(LintTaskGraph, SelfDependency) {
+  const std::vector<nd::task::Edge> edges = {{0, 0, 10.0}};
+  const auto rep = nd::analysis::lint_task_edges(2, edges);
+  EXPECT_EQ(rep.count_code(codes::kTaskSelfDep), 1);
+  EXPECT_GT(rep.num_errors(), 0);
+}
+
+TEST(LintTaskGraph, DanglingEdge) {
+  const std::vector<nd::task::Edge> edges = {{0, 5, 10.0}, {-1, 1, 1.0}};
+  const auto rep = nd::analysis::lint_task_edges(3, edges);
+  EXPECT_EQ(rep.count_code(codes::kTaskDanglingEdge), 2);
+}
+
+TEST(LintTaskGraph, DuplicateEdge) {
+  const std::vector<nd::task::Edge> edges = {{0, 1, 10.0}, {0, 1, 20.0}};
+  const auto rep = nd::analysis::lint_task_edges(2, edges);
+  EXPECT_EQ(rep.count_code(codes::kTaskDuplicateEdge), 1);
+  EXPECT_EQ(rep.num_errors(), 0);
+}
+
+TEST(LintTaskGraph, CycleDetected) {
+  const std::vector<nd::task::Edge> edges = {
+      {0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}, {3, 0, 1.0}};
+  const auto rep = nd::analysis::lint_task_edges(4, edges);
+  EXPECT_EQ(rep.count_code(codes::kTaskCycle), 1);
+  EXPECT_GT(rep.num_errors(), 0);
+}
+
+TEST(LintTaskGraph, BadPayload) {
+  const std::vector<nd::task::Edge> edges = {{0, 1, -5.0}};
+  const auto rep = nd::analysis::lint_task_edges(2, edges);
+  EXPECT_EQ(rep.count_code(codes::kTaskBadBytes), 1);
+}
+
+TEST(LintTaskGraph, AcyclicGraphIsClean) {
+  const std::vector<nd::task::Edge> edges = {{0, 1, 1.0}, {0, 2, 2.0}, {1, 2, 3.0}};
+  const auto rep = nd::analysis::lint_task_edges(3, edges);
+  EXPECT_TRUE(rep.empty()) << rep.to_table();
+}
+
+// ---------------------------------------------------------------------------
+// V/F-table linter
+
+TEST(LintVf, NonMonotoneFrequency) {
+  const std::vector<nd::dvfs::VfLevel> levels = {
+      {0.7, 2.0e9}, {0.8, 1.5e9}, {0.9, 2.5e9}};
+  const auto rep = nd::analysis::lint_vf_levels(levels);
+  EXPECT_EQ(rep.count_code(codes::kVfNonMonotoneFreq), 1);
+  EXPECT_GT(rep.num_errors(), 0);
+}
+
+TEST(LintVf, NonPositiveEntries) {
+  const std::vector<nd::dvfs::VfLevel> levels = {{-0.1, 1.0e9}, {0.8, 0.0}};
+  const auto rep = nd::analysis::lint_vf_levels(levels);
+  EXPECT_EQ(rep.count_code(codes::kVfNonPositive), 2);
+}
+
+TEST(LintVf, NonMonotonePower) {
+  // Voltage falling sharply while frequency rises slightly makes P(l) drop
+  // between consecutive levels: a suspicious table.
+  const std::vector<nd::dvfs::VfLevel> levels = {
+      {1.2, 1.0e9}, {0.7, 1.01e9}, {1.25, 3.0e9}};
+  const auto rep = nd::analysis::lint_vf_levels(levels);
+  EXPECT_GE(rep.count_code(codes::kVfNonMonotonePower), 1);
+}
+
+TEST(LintVf, UnreachableDominatedLevel) {
+  // Level 0 burns more power per cycle than level 1 while being slower:
+  // level 1 dominates it, so level 0 can never be the right choice.
+  const std::vector<nd::dvfs::VfLevel> levels = {{1.3, 1.0e9}, {0.8, 1.5e9}};
+  const auto rep = nd::analysis::lint_vf_levels(levels);
+  EXPECT_GE(rep.count_code(codes::kVfUnreachableLevel), 1);
+}
+
+TEST(LintVf, Typical6IsClean) {
+  std::vector<nd::dvfs::VfLevel> levels;
+  const auto table = nd::dvfs::VfTable::typical6();
+  for (int l = 0; l < table.num_levels(); ++l) levels.push_back(table.level(l));
+  const auto rep = nd::analysis::lint_vf_levels(levels, table.params());
+  EXPECT_TRUE(rep.empty()) << rep.to_table();
+}
+
+TEST(LintVf, EmptyTable) {
+  const auto rep = nd::analysis::lint_vf_levels({});
+  EXPECT_EQ(rep.count_code(codes::kVfEmpty), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Problem linter
+
+TEST(LintProblem, SeedGeneratorInstancesAreClean) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    nd::test::TinySpec spec;
+    spec.seed = seed;
+    spec.num_tasks = 6;
+    const auto p = nd::test::tiny_problem(spec);
+    const auto rep = nd::analysis::lint_problem(*p);
+    EXPECT_TRUE(rep.empty()) << "seed " << seed << ":\n" << rep.to_table();
+  }
+}
+
+TEST(LintProblem, RandomInstanceParamsAreClean) {
+  nd::deploy::InstanceParams params;
+  params.gen.num_tasks = 12;
+  params.seed = 5;
+  const auto p = nd::deploy::make_random_instance(params);
+  const auto rep = nd::analysis::lint_problem(*p);
+  EXPECT_TRUE(rep.empty()) << rep.to_table();
+}
+
+TEST(LintProblem, NamedWorkloadsAreClean) {
+  for (auto& wl : nd::task::all_workloads()) {
+    const auto rep = nd::analysis::lint_task_graph(wl.graph);
+    EXPECT_TRUE(rep.empty()) << wl.name << ":\n" << rep.to_table();
+  }
+}
+
+TEST(LintProblem, UnmeetableDeadline) {
+  // One task whose deadline is shorter than its execution time at f_max.
+  nd::task::TaskGraph g;
+  g.add_task(3'000'000'000ull, 0.5);  // 3e9 cycles at 3 GHz = 1 s > 0.5 s
+  g.add_task(1'000'000ull, 1.0);
+  g.add_edge(0, 1, 100.0);
+  nd::noc::MeshParams mesh;
+  mesh.rows = mesh.cols = 2;
+  nd::deploy::DeploymentProblem p(std::move(g), mesh, nd::dvfs::VfTable::typical6(),
+                                  nd::reliability::FaultParams{1e-6, 3.0}, 0.9, 10.0);
+  const auto rep = nd::analysis::lint_problem(p);
+  EXPECT_EQ(rep.count_code(codes::kProblemDeadlineUnmeetable), 1);
+  EXPECT_GT(rep.num_errors(), 0);
+}
+
+TEST(LintProblem, UnreachableReliabilityThreshold) {
+  // A brutal fault rate: even duplicated at the most reliable level, R_th
+  // cannot be met.
+  nd::task::TaskGraph g;
+  g.add_task(2'000'000'000ull, 10.0);
+  nd::noc::MeshParams mesh;
+  mesh.rows = mesh.cols = 2;
+  nd::deploy::DeploymentProblem p(std::move(g), mesh, nd::dvfs::VfTable::typical6(),
+                                  nd::reliability::FaultParams{5.0, 3.0}, 0.9999, 20.0);
+  const auto rep = nd::analysis::lint_problem(p);
+  EXPECT_GE(rep.count_code(codes::kProblemRthUnreachable), 1);
+}
+
+// DeploymentProblem's constructor enforces r_th ∈ (0,1) and horizon > 0, so
+// kProblemBadHorizon/kProblemBadRth are defense-in-depth only — no test can
+// construct a violating instance through the public API.
+
+// ---------------------------------------------------------------------------
+// End to end: the full MILP formulation of seed instances lints clean.
+
+TEST(LintFormulation, SeedFormulationsAreClean) {
+  for (const std::uint64_t seed : {1ull, 3ull}) {
+    nd::test::TinySpec spec;
+    spec.seed = seed;
+    const auto p = nd::test::tiny_problem(spec);
+    const nd::model::Formulation f(*p);
+    const auto rep = nd::analysis::lint_model(f.model());
+    EXPECT_EQ(rep.num_errors(), 0) << "seed " << seed << ":\n" << rep.to_table();
+    EXPECT_TRUE(rep.empty()) << "seed " << seed << ":\n" << rep.to_table();
+  }
+}
+
+}  // namespace

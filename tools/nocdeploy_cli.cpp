@@ -5,13 +5,17 @@
 //                   [--time-limit 30] [-o sol.json] [--gantt] [--dot out.dot]
 //   nocdeploy validate --problem prob.json --solution sol.json
 //   nocdeploy simulate --problem prob.json --solution sol.json [--trials 100000]
+//   nocdeploy lint     --problem prob.json [--model] [--json]
 //
-// Exit status: 0 on success/valid, 1 on infeasible/invalid, 2 on usage error.
+// Exit status: 0 on success/valid, 1 on infeasible/invalid/lint-errors,
+// 2 on usage error.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "analysis/lint_model.hpp"
+#include "analysis/lint_problem.hpp"
 #include "deploy/evaluate.hpp"
 #include "deploy/export.hpp"
 #include "deploy/serialize.hpp"
@@ -43,13 +47,14 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: nocdeploy <gen|solve|validate|simulate> [flags]\n"
+               "usage: nocdeploy <gen|solve|validate|simulate|lint> [flags]\n"
                "  gen      --tasks N --rows R --cols C --alpha A --r-th X --lambda L\n"
                "           --seed S -o problem.json\n"
                "  solve    --problem P.json --method heuristic|annealing|optimal\n"
                "           [--time-limit SEC] [-o solution.json] [--gantt] [--dot FILE]\n"
                "  validate --problem P.json --solution S.json\n"
-               "  simulate --problem P.json --solution S.json [--trials N]\n");
+               "  simulate --problem P.json --solution S.json [--trials N]\n"
+               "  lint     --problem P.json [--model] [--json]\n");
   return 2;
 }
 
@@ -98,6 +103,12 @@ int report_and_save(const deploy::DeploymentProblem& p, const deploy::Deployment
 int cmd_solve(const Args& a) {
   if (a.get("problem").empty()) return usage();
   auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
+  // Warn-only pre-solve lint: report model defects but always proceed.
+  const auto lint = analysis::lint_problem(*p);
+  if (!lint.empty()) {
+    std::fprintf(stderr, "lint: %s\n%s", lint.summary().c_str(),
+                 lint.to_table().c_str());
+  }
   const std::string method = a.get("method", "heuristic");
   if (method == "heuristic") {
     const auto res = heuristic::solve_heuristic(*p);
@@ -143,6 +154,24 @@ int cmd_validate(const Args& a) {
   return val.ok() ? 0 : 1;
 }
 
+int cmd_lint(const Args& a) {
+  if (a.get("problem").empty()) return usage();
+  auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
+  auto rep = analysis::lint_problem(*p);
+  if (a.flags.count("model") != 0) {
+    // Also build the MILP formulation and lint the generated model.
+    const model::Formulation formulation(*p);
+    rep.merge(analysis::lint_model(formulation.model()));
+  }
+  if (a.flags.count("json") != 0) {
+    std::printf("%s\n", rep.to_json().dump(2).c_str());
+  } else {
+    if (!rep.empty()) std::printf("%s", rep.to_table().c_str());
+    std::printf("lint: %s\n", rep.summary().c_str());
+  }
+  return rep.num_errors() > 0 ? 1 : 0;
+}
+
 int cmd_simulate(const Args& a) {
   if (a.get("problem").empty() || a.get("solution").empty()) return usage();
   auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
@@ -185,6 +214,7 @@ int main(int argc, char** argv) {
     if (a.command == "solve") return cmd_solve(a);
     if (a.command == "validate") return cmd_validate(a);
     if (a.command == "simulate") return cmd_simulate(a);
+    if (a.command == "lint") return cmd_lint(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
