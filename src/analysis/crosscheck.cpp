@@ -1,0 +1,171 @@
+#include "analysis/crosscheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/certify_bnb.hpp"
+#include "common/prng.hpp"
+#include "deploy/evaluate.hpp"
+#include "deploy/problem.hpp"
+#include "deploy/validate.hpp"
+#include "dvfs/vf_table.hpp"
+#include "heuristic/phases.hpp"
+#include "milp/audit.hpp"
+#include "model/formulation.hpp"
+#include "noc/mesh.hpp"
+#include "reliability/fault_model.hpp"
+#include "sim/event_sim.hpp"
+#include "task/generator.hpp"
+
+namespace nd::analysis {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Validate + simulate one deployment; `who` is "heuristic" or "milp".
+void check_deployment(const deploy::DeploymentProblem& p, const deploy::DeploymentSolution& s,
+                      const std::string& who, const CrosscheckOptions& opt, Report& rep) {
+  const deploy::ValidationResult val = deploy::validate(p, s);
+  if (!val.ok()) {
+    rep.add(Severity::kError, codes::kXcheckSolutionInvalid, who,
+            val.violations.front() +
+                (val.violations.size() > 1
+                     ? " (+" + std::to_string(val.violations.size() - 1) + " more)"
+                     : ""));
+  }
+  if (opt.run_simulation) {
+    const sim::SimResult sr = sim::simulate(p, s);
+    if (!sr.ok()) {
+      std::string why = !sr.anomalies.empty() ? sr.anomalies.front()
+                        : !sr.completed       ? std::string("simulation incomplete")
+                        : !sr.horizon_met     ? std::string("horizon missed")
+                                              : std::string("deadline missed");
+      rep.add(Severity::kError, codes::kXcheckSimDivergence, who, why);
+    }
+  }
+}
+
+}  // namespace
+
+SeedOutcome crosscheck_seed(std::uint64_t seed, const CrosscheckOptions& opt) {
+  SeedOutcome out;
+  Report& rep = out.report;
+
+  // Instance construction mirrors `nocdeploy-cli gen`.
+  Prng prng(seed);
+  task::GenParams gen;
+  gen.num_tasks = opt.num_tasks;
+  gen.width = std::max(2, opt.num_tasks / 5);
+  noc::MeshParams mesh;
+  mesh.rows = opt.rows;
+  mesh.cols = opt.cols;
+  mesh.seed = seed + 7777;
+  deploy::DeploymentProblem p(task::generate_layered(prng, gen), mesh,
+                              dvfs::VfTable::typical6(),
+                              reliability::FaultParams{opt.lambda, 3.0}, opt.r_th, 1.0);
+  p.set_horizon(p.horizon_for_alpha(opt.alpha));
+
+  // --- Heuristic path.
+  const heuristic::HeuristicResult h = heuristic::solve_heuristic(p);
+  if (!h.feasible) {
+    // The decomposition heuristic is incomplete, so giving up on a tight
+    // instance is a legitimate outcome, not an inconsistency — skip the seed.
+    rep.add(Severity::kWarning, codes::kXcheckHeuristicInfeasible, "heuristic",
+            h.why + " (seed skipped)");
+    return out;
+  }
+  check_deployment(p, h.solution, "heuristic", opt, rep);
+  out.heuristic_be = deploy::evaluate_energy(p, h.solution).max_proc();
+
+  // --- MILP path, fully audited. Built by hand (instead of via
+  // model::solve_optimal) so the milp::Model stays available for the replay.
+  model::Formulation f(p);
+  const std::vector<double> warm_point = f.encode(h.solution);
+
+  // Model ↔ evaluator consistency on the heuristic's point: the encoded
+  // point's objective must equal the evaluator's BE energy.
+  const double warm_obj = f.model().lp().objective_value(warm_point);
+  if (std::abs(warm_obj - out.heuristic_be) > opt.tol * (1.0 + std::abs(out.heuristic_be))) {
+    rep.add(Severity::kError, codes::kXcheckEnergyMismatch, "heuristic",
+            "model scores the heuristic point " + fmt(warm_obj) +
+                " J but the evaluator reports " + fmt(out.heuristic_be) + " J");
+  }
+
+  milp::AuditLog audit;
+  milp::MipOptions mopt;
+  mopt.time_limit_s = opt.milp_time_limit_s;
+  mopt.warm_start = &warm_point;
+  mopt.completion = [&f](const std::vector<double>& lp_point, std::vector<double>* cand) {
+    return f.complete(lp_point, cand);
+  };
+  mopt.audit = &audit;
+  const milp::MipResult mip = milp::solve(f.model(), mopt);
+  out.milp_status = mip.status;
+  out.milp_nodes = mip.nodes;
+  out.milp_obj = mip.obj;
+  out.milp_bound = mip.best_bound;
+
+  if (!mip.has_solution()) {
+    // The heuristic point was offered as a warm start, so the MILP can never
+    // legitimately end without an incumbent.
+    rep.add(Severity::kError, codes::kXcheckMilpFailed, "milp",
+            std::string("status '") + milp::to_string(mip.status) +
+                "' despite a feasible warm start");
+    return out;
+  }
+  if (mip.status != milp::MipStatus::kOptimal) {
+    rep.add(Severity::kWarning, codes::kXcheckMilpNotOptimal, "milp",
+            std::string("stopped '") + milp::to_string(mip.status) + "' with gap " +
+                fmt(mip.gap()));
+  }
+
+  const deploy::DeploymentSolution milp_sol = f.decode(mip.x);
+  check_deployment(p, milp_sol, "milp", opt, rep);
+
+  // Model ↔ evaluator consistency on the MILP's point.
+  const double milp_be = deploy::evaluate_energy(p, milp_sol).max_proc();
+  if (std::abs(milp_be - mip.obj) > opt.tol * (1.0 + std::abs(mip.obj))) {
+    rep.add(Severity::kError, codes::kXcheckEnergyMismatch, "milp",
+            "MILP claims " + fmt(mip.obj) + " J but the evaluator reports " +
+                fmt(milp_be) + " J");
+  }
+
+  // The heuristic can never beat the MILP's PROVED lower bound.
+  if (out.heuristic_be < mip.best_bound - opt.tol * (1.0 + std::abs(mip.best_bound))) {
+    rep.add(Severity::kError, codes::kXcheckBeBelowOptimal, "heuristic",
+            "heuristic BE " + fmt(out.heuristic_be) +
+                " J beats the certified lower bound " + fmt(mip.best_bound) + " J");
+  }
+
+  // Certify the run itself: root LP certificate + full tree replay.
+  rep.merge(certify_bnb(f.model(), audit, {opt.tol}));
+  return out;
+}
+
+Report crosscheck_range(std::uint64_t first_seed, int count, const CrosscheckOptions& opt) {
+  Report rep;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
+    const SeedOutcome out = crosscheck_seed(seed, opt);
+    if (opt.verbose) {
+      std::printf("[crosscheck] seed %llu: heuristic %.4f J, milp %.4f J (%s, %lld nodes) — %s\n",
+                  static_cast<unsigned long long>(seed), out.heuristic_be, out.milp_obj,
+                  milp::to_string(out.milp_status), static_cast<long long>(out.milp_nodes),
+                  out.report.summary().c_str());
+    }
+    for (const Diagnostic& d : out.report.diagnostics()) {
+      rep.add(d.severity, d.code, "seed" + std::to_string(seed) + "/" + d.subject, d.message);
+    }
+  }
+  return rep;
+}
+
+}  // namespace nd::analysis

@@ -1,0 +1,69 @@
+// Differential MILP ↔ heuristic ↔ simulator cross-check.
+//
+// For a seeded random deployment instance the harness runs the three
+// independent solution paths the repo implements and asserts the relations
+// that must hold between them:
+//   * the heuristic's deployment passes deploy::validate and the event
+//     simulator reproduces its analytic schedule,
+//   * the MILP (warm-started from the heuristic, with the completion
+//     heuristic and a full audit log) solves the same instance; its
+//     deployment also validates and simulates cleanly,
+//   * the heuristic's BE objective never beats the MILP's PROVED lower
+//     bound (a violation means either bound or validator is wrong),
+//   * the energies the evaluator computes match the objectives both solvers
+//     claim (model ↔ evaluator consistency),
+//   * the MILP run itself is certified: the root LP certificate verifies
+//     and the branch-and-bound audit log replays cleanly
+//     (analysis/certify_lp, analysis/certify_bnb).
+//
+// Every defect becomes an error diagnostic; a clean report over many seeds
+// is the repo's strongest end-to-end correctness statement.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/diagnostics.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace nd::analysis {
+
+struct CrosscheckOptions {
+  // Instance shape (mirrors `nocdeploy-cli gen` defaults, scaled down so a
+  // MILP solve stays in the sub-second range under sanitizers).
+  int num_tasks = 5;
+  int rows = 2;
+  int cols = 2;
+  /// Looser than the CLI's gen default (1.5): at 1.5 roughly half the random
+  /// instances are heuristic-infeasible, which is a different test.
+  double alpha = 2.0;
+  double r_th = 0.995;
+  double lambda = 2e-5;
+
+  /// Wall-clock cap per MILP solve — this bounds per-seed cost everywhere,
+  /// sanitizer builds included. Instances the solver cannot finish in time
+  /// end kFeasible, which downgrades the optimality comparison to a (still
+  /// sound) bound comparison instead of failing the harness.
+  double milp_time_limit_s = 8.0;
+  double tol = 1e-6;          ///< objective/energy comparison tolerance
+  bool run_simulation = true; ///< event-simulate both deployments
+  bool verbose = false;       ///< per-seed progress on stdout
+};
+
+struct SeedOutcome {
+  Report report;
+  double heuristic_be = 0.0;  ///< heuristic BE objective [J]
+  double milp_obj = 0.0;      ///< MILP incumbent objective [J]
+  double milp_bound = 0.0;    ///< MILP proved lower bound [J]
+  milp::MipStatus milp_status = milp::MipStatus::kUnknown;
+  std::int64_t milp_nodes = 0;
+};
+
+/// Run the full differential pipeline on one seed.
+SeedOutcome crosscheck_seed(std::uint64_t seed, const CrosscheckOptions& opt = {});
+
+/// Run seeds [first_seed, first_seed + count); diagnostics come back with
+/// subjects prefixed "seed<S>/".
+Report crosscheck_range(std::uint64_t first_seed, int count,
+                        const CrosscheckOptions& opt = {});
+
+}  // namespace nd::analysis

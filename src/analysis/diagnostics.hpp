@@ -62,6 +62,43 @@ inline constexpr const char* kProblemBadRth = "problem-bad-rth";                
 inline constexpr const char* kProblemDeadlineUnmeetable = "deadline-unmeetable";  // error
 inline constexpr const char* kProblemRthUnreachable = "rth-unreachable";          // error
 
+// lint_problem (NoC routing-path level)
+inline constexpr const char* kNocPathEndpoint = "noc-path-endpoint";              // error
+inline constexpr const char* kNocPathOutsideMesh = "noc-path-outside-mesh";       // error
+inline constexpr const char* kNocPathDiscontiguous = "noc-path-discontiguous";    // error
+inline constexpr const char* kNocPathsIdentical = "noc-paths-identical";          // warning
+
+// certify_lp (LP certificate checker)
+inline constexpr const char* kLpCertShape = "lp-cert-shape";                      // error
+inline constexpr const char* kLpCertStatus = "lp-cert-status";                    // error
+inline constexpr const char* kLpCertPrimal = "lp-cert-primal-infeasible";         // error
+inline constexpr const char* kLpCertDual = "lp-cert-dual-infeasible";             // error
+inline constexpr const char* kLpCertSlackness = "lp-cert-slackness";              // error
+inline constexpr const char* kLpCertDualityGap = "lp-cert-duality-gap";           // error
+inline constexpr const char* kLpCertObjective = "lp-cert-objective";              // error
+inline constexpr const char* kLpCertReducedCost = "lp-cert-reduced-cost";         // warning
+inline constexpr const char* kLpCertFarkas = "lp-cert-farkas";                    // error
+
+// certify_bnb (branch-and-bound audit replayer)
+inline constexpr const char* kBnbStructure = "bnb-structure";                     // error
+inline constexpr const char* kBnbBoundRegression = "bnb-bound-regression";        // error
+inline constexpr const char* kBnbCoverGap = "bnb-cover-gap";                      // error
+inline constexpr const char* kBnbPruneIllegal = "bnb-prune-illegal";              // error
+inline constexpr const char* kBnbIncumbentMismatch = "bnb-incumbent-mismatch";    // error
+inline constexpr const char* kBnbIncumbentRegression = "bnb-incumbent-regression";// error
+inline constexpr const char* kBnbLimitNotOptimal = "bnb-limit-not-optimal";       // error
+inline constexpr const char* kBnbRootCert = "bnb-root-cert";                      // error
+inline constexpr const char* kBnbRootFixing = "bnb-root-fixing";                  // error
+
+// crosscheck (differential MILP ↔ heuristic ↔ simulator harness)
+inline constexpr const char* kXcheckHeuristicInfeasible = "xcheck-heuristic-infeasible";  // warning
+inline constexpr const char* kXcheckMilpFailed = "xcheck-milp-failed";            // error
+inline constexpr const char* kXcheckMilpNotOptimal = "xcheck-milp-not-optimal";   // warning
+inline constexpr const char* kXcheckSolutionInvalid = "xcheck-solution-invalid";  // error
+inline constexpr const char* kXcheckBeBelowOptimal = "xcheck-be-below-optimal";   // error
+inline constexpr const char* kXcheckEnergyMismatch = "xcheck-energy-mismatch";    // error
+inline constexpr const char* kXcheckSimDivergence = "xcheck-sim-divergence";      // error
+
 }  // namespace codes
 
 class Report {

@@ -52,7 +52,7 @@ std::vector<std::pair<int, double>> normalize(const RawRow& row) {
     }
   }
   out.erase(std::remove_if(out.begin(), out.end(),
-                           [](const auto& jv) { return jv.second == 0.0; }),
+                           [](const auto& jv) { return jv.second == 0.0; }),  // fp-exact
             out.end());
   return out;
 }
@@ -128,7 +128,7 @@ void check_rows(const RawModel& m, const LintModelOptions& opt, Report* rep) {
         rep->add(Severity::kWarning, codes::kHugeCoef, row_name(r),
                  "coefficient " + fmt(v) + " of " + var_name(m, j) + " exceeds " +
                      fmt(opt.huge_coef));
-      } else if (v != 0.0 && std::abs(v) < opt.tiny_coef) {
+      } else if (v != 0.0 && std::abs(v) < opt.tiny_coef) {  // fp-exact: exact zeros are fine
         rep->add(Severity::kWarning, codes::kTinyCoef, row_name(r),
                  "coefficient " + fmt(v) + " of " + var_name(m, j) + " is below " +
                      fmt(opt.tiny_coef));
@@ -173,7 +173,7 @@ void check_rows(const RawModel& m, const LintModelOptions& opt, Report* rep) {
   for (int j = 0; j < n; ++j) {
     const RawVar& var = m.vars[static_cast<std::size_t>(j)];
     if (referenced[static_cast<std::size_t>(j)] != 0) continue;
-    if (var.obj != 0.0) continue;
+    if (var.obj != 0.0) continue;  // fp-exact: any nonzero objective keeps the var
     if (var.lo == var.hi) continue;  // presolve-fixed variables are deliberate
     rep->add(Severity::kWarning, codes::kOrphanVariable, var_name(m, j),
              "appears in no constraint and has zero objective coefficient");

@@ -167,8 +167,80 @@ Report lint_vf_levels(const std::vector<dvfs::VfLevel>& levels,
   return rep;
 }
 
+Report lint_noc_paths(const noc::Mesh& mesh) {
+  Report rep;
+  const int n = mesh.num_procs();
+  for (int beta = 0; beta < n; ++beta) {
+    for (int gamma = 0; gamma < n; ++gamma) {
+      for (int rho = 0; rho < noc::Mesh::kNumPaths; ++rho) {
+        const std::string subject = "path(" + std::to_string(beta) + "->" +
+                                    std::to_string(gamma) + ",rho=" + std::to_string(rho) +
+                                    ")";
+        const std::vector<int>& nodes = mesh.path_nodes(beta, gamma, rho);
+        if (nodes.empty()) {
+          rep.add(Severity::kError, codes::kNocPathEndpoint, subject, "empty router sequence");
+          continue;
+        }
+        bool inside = true;
+        for (const int v : nodes) {
+          if (v < 0 || v >= n) {
+            rep.add(Severity::kError, codes::kNocPathOutsideMesh, subject,
+                    "router " + std::to_string(v) + " outside [0, " + std::to_string(n) + ")");
+            inside = false;
+          }
+        }
+        if (!inside) continue;
+        if (nodes.front() != beta || nodes.back() != gamma) {
+          rep.add(Severity::kError, codes::kNocPathEndpoint, subject,
+                  "route runs " + std::to_string(nodes.front()) + "->" +
+                      std::to_string(nodes.back()) + ", expected " + std::to_string(beta) +
+                      "->" + std::to_string(gamma));
+          continue;
+        }
+        for (std::size_t s = 0; s + 1 < nodes.size(); ++s) {
+          if (!mesh.are_neighbours(nodes[s], nodes[s + 1])) {
+            rep.add(Severity::kError, codes::kNocPathDiscontiguous, subject,
+                    "hop " + std::to_string(nodes[s]) + "->" + std::to_string(nodes[s + 1]) +
+                        " is not a mesh link");
+          }
+        }
+      }
+    }
+  }
+
+  // ρ-diversity: pairs that differ in both mesh dimensions admit at least two
+  // distinct minimal-hop routes. Individual coincidences are legitimate (the
+  // random link weights can make one route best under both metrics), but when
+  // EVERY such pair collapses to a single route the P = 2 selection freedom
+  // of the paper is gone — almost always a configuration defect (variation 0,
+  // or a broken tie-break).
+  int eligible = 0;
+  int collapsed = 0;
+  for (int beta = 0; beta < n; ++beta) {
+    for (int gamma = 0; gamma < n; ++gamma) {
+      if (beta == gamma) continue;
+      const auto [rb, cb] = mesh.coords(beta);
+      const auto [rg, cg] = mesh.coords(gamma);
+      if (rb == rg || cb == cg) continue;  // unique shortest route anyway
+      ++eligible;
+      if (mesh.path_nodes(beta, gamma, 0) == mesh.path_nodes(beta, gamma, 1)) ++collapsed;
+    }
+  }
+  // On a 2x2 mesh only the 4 diagonal pairs are eligible and each collapses
+  // by fair coin under random weights, so an all-collapse there is chance,
+  // not defect (~6% of seeds). From 8 eligible pairs up the chance reading
+  // is < 0.5% and the warning carries signal.
+  if (eligible >= 8 && collapsed == eligible) {
+    rep.add(Severity::kWarning, codes::kNocPathsIdentical, "mesh",
+            "rho=0 and rho=1 routes coincide for all " + std::to_string(eligible) +
+                " pair(s) that admit distinct routes — P=2 path selection is degenerate");
+  }
+  return rep;
+}
+
 Report lint_problem(const deploy::DeploymentProblem& problem) {
   Report rep = lint_task_graph(problem.graph());
+  rep.merge(lint_noc_paths(problem.mesh()));
 
   const dvfs::VfTable& vf = problem.vf();
   {

@@ -16,6 +16,11 @@
 //   problem:    non-positive/NaN horizon, R_th outside (0, 1], deadlines
 //               unmeetable even at f_max, R_th unreachable even duplicated
 //               at the most reliable level
+//   NoC paths:  candidate routes whose endpoints are not (β, γ), routes
+//               leaving the mesh, hop-discontiguous routes (consecutive
+//               routers not mesh neighbours), and ρ=0/ρ=1 candidates that
+//               coincide although the pair is far enough apart for the mesh
+//               to offer distinct routes
 #pragma once
 
 #include <vector>
@@ -23,6 +28,7 @@
 #include "analysis/diagnostics.hpp"
 #include "deploy/problem.hpp"
 #include "dvfs/vf_table.hpp"
+#include "noc/mesh.hpp"
 #include "task/task_graph.hpp"
 
 namespace nd::analysis {
@@ -37,9 +43,14 @@ Report lint_task_graph(const task::TaskGraph& graph);
 Report lint_vf_levels(const std::vector<dvfs::VfLevel>& levels,
                       const dvfs::PowerParams& params = {});
 
-/// Lint a full deployment problem: graph + V/F checks plus the cross-cutting
-/// ones (horizon, R_th, deadline feasibility against f_max, reliability
-/// reachability under duplication).
+/// Lint every candidate routing path of a mesh: endpoints, mesh membership,
+/// hop contiguity, and ρ-diversity (the paper's P = 2 candidates should be
+/// genuinely different routes whenever the mesh admits more than one).
+Report lint_noc_paths(const noc::Mesh& mesh);
+
+/// Lint a full deployment problem: graph + V/F + NoC-path checks plus the
+/// cross-cutting ones (horizon, R_th, deadline feasibility against f_max,
+/// reliability reachability under duplication).
 Report lint_problem(const deploy::DeploymentProblem& problem);
 
 }  // namespace nd::analysis

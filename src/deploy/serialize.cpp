@@ -145,7 +145,7 @@ DeploymentSolution solution_from_json(const json::Value& v, const DeploymentProb
   const Array& end = load("end", total);
   const Array& paths = load("path_choice", static_cast<std::size_t>(p.num_procs()) * p.num_procs());
   for (std::size_t i = 0; i < total; ++i) {
-    s.exists[i] = exists[i].as_number() != 0.0 ? 1 : 0;
+    s.exists[i] = exists[i].as_number() != 0.0 ? 1 : 0;  // fp-exact: 0/1 flag decode
     s.level[i] = static_cast<int>(level[i].as_number());
     s.proc[i] = static_cast<int>(proc[i].as_number());
     s.start[i] = start[i].as_number();

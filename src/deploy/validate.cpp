@@ -27,6 +27,9 @@ class Checker {
     check_shapes();
     if (!res_.violations.empty()) return res_;  // wrong arity: abort early
     check_existence_and_assignments();
+    // Every later check indexes the V/F table and the mesh by the recorded
+    // level/processor, so invalid assignments must also stop here.
+    if (!res_.violations.empty()) return res_;
     check_duplication_and_reliability();
     check_schedule_window();
     check_precedence();

@@ -196,7 +196,8 @@ class Annealer {
     const auto rep = deploy::evaluate_energy(p_, sol);
     const double over = std::max(0.0, makespan - p_.horizon()) / p_.horizon();
     *out = std::move(sol);
-    *feasible = (over == 0.0) && rel_ok;
+    // over is max(0, excess)/H — exactly 0 iff the horizon is met.
+    *feasible = (over == 0.0) && rel_ok;  // fp-exact
     *objective = rep.max_proc();
     return rep.max_proc() *
            (1.0 + opt_.infeasibility_weight * (over + (rel_ok ? 0.0 : 1.0)));

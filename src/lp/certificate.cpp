@@ -1,0 +1,74 @@
+#include "lp/certificate.hpp"
+
+#include <stdexcept>
+
+namespace nd::lp {
+
+namespace {
+
+json::Array vec_to_json(const std::vector<double>& v) {
+  json::Array a;
+  a.reserve(v.size());
+  for (const double x : v) a.emplace_back(x);
+  return a;
+}
+
+std::vector<double> vec_from_json(const json::Value& v) {
+  std::vector<double> out;
+  out.reserve(v.as_array().size());
+  for (const auto& e : v.as_array()) out.push_back(e.as_number());
+  return out;
+}
+
+}  // namespace
+
+json::Value certificate_to_json(const Certificate& cert) {
+  json::Object o;
+  o.emplace_back("status", to_string(cert.status));
+  o.emplace_back("obj", cert.obj);
+  o.emplace_back("x", vec_to_json(cert.x));
+  o.emplace_back("y", vec_to_json(cert.y));
+  o.emplace_back("d", vec_to_json(cert.d));
+  json::Array vstat;
+  vstat.reserve(cert.vstat.size());
+  for (const VarStatus s : cert.vstat) vstat.emplace_back(static_cast<int>(s));
+  o.emplace_back("vstat", std::move(vstat));
+  json::Array basis;
+  basis.reserve(cert.basis.size());
+  for (const int b : cert.basis) basis.emplace_back(b);
+  o.emplace_back("basis", std::move(basis));
+  o.emplace_back("farkas", vec_to_json(cert.farkas));
+  return o;
+}
+
+Certificate certificate_from_json(const json::Value& v) {
+  Certificate cert;
+  const std::string& status = v.at("status").as_string();
+  if (status == "optimal") {
+    cert.status = SolveStatus::kOptimal;
+  } else if (status == "infeasible") {
+    cert.status = SolveStatus::kInfeasible;
+  } else if (status == "unbounded") {
+    cert.status = SolveStatus::kUnbounded;
+  } else if (status == "iteration-limit") {
+    cert.status = SolveStatus::kIterLimit;
+  } else {
+    throw std::invalid_argument("certificate: unknown status '" + status + "'");
+  }
+  cert.obj = v.at("obj").as_number();
+  cert.x = vec_from_json(v.at("x"));
+  cert.y = vec_from_json(v.at("y"));
+  cert.d = vec_from_json(v.at("d"));
+  for (const auto& e : v.at("vstat").as_array()) {
+    const int s = static_cast<int>(e.as_number());
+    if (s < 0 || s > 2) throw std::invalid_argument("certificate: bad vstat entry");
+    cert.vstat.push_back(static_cast<VarStatus>(s));
+  }
+  for (const auto& e : v.at("basis").as_array()) {
+    cert.basis.push_back(static_cast<int>(e.as_number()));
+  }
+  cert.farkas = vec_from_json(v.at("farkas"));
+  return cert;
+}
+
+}  // namespace nd::lp

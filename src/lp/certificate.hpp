@@ -1,0 +1,60 @@
+// Solver-independent optimality / infeasibility certificates for LPs.
+//
+// A Certificate is everything an *external* checker needs to re-verify a
+// simplex result against the original problem data without trusting the
+// engine's internal state:
+//   * kOptimal:    primal point x, row duals y, basis, variable statuses.
+//     The checker recomputes reduced costs d = c − Aᵀy from scratch and
+//     verifies primal feasibility, dual feasibility, complementary slackness
+//     and the strong-duality gap (see analysis/certify_lp.hpp).
+//   * kInfeasible: a Farkas ray y over the rows. Writing every row as
+//     aᵀx + s = b with the slack bounded by the row sense, any feasible
+//     point satisfies Σ_j (yᵀA)_j x_j + Σ_r y_r s_r = yᵀb; the ray proves
+//     infeasibility when the box-maximum of the left side is still below
+//     yᵀb. Both phase-1 termination and a dual-simplex breakdown row yield
+//     such a ray.
+//
+// The duals are recomputed from the tableau and the ORIGINAL problem data at
+// extraction time (y_k = Σ_r c_B[r]·(B⁻¹)_{rk}), not read from the engine's
+// incrementally-updated reduced costs, so certificate quality does not decay
+// with pivot count.
+#pragma once
+
+#include <vector>
+
+#include "common/json.hpp"
+#include "lp/simplex.hpp"
+
+namespace nd::lp {
+
+struct Certificate {
+  SolveStatus status = SolveStatus::kIterLimit;
+  double obj = 0.0;              ///< claimed objective (kOptimal)
+  std::vector<double> x;         ///< structural values [n] (kOptimal)
+  std::vector<double> y;         ///< row duals [m] (kOptimal)
+  std::vector<double> d;         ///< claimed reduced costs [n] (kOptimal)
+  std::vector<VarStatus> vstat;  ///< structural statuses [n] (kOptimal)
+  std::vector<int> basis;        ///< basic column per row [m]; n+r = slack r
+  std::vector<double> farkas;    ///< infeasibility ray over rows [m]
+
+  [[nodiscard]] bool has_optimal_data() const {
+    return status == SolveStatus::kOptimal && !x.empty() && !y.empty();
+  }
+  [[nodiscard]] bool has_farkas_ray() const {
+    return status == SolveStatus::kInfeasible && !farkas.empty();
+  }
+};
+
+/// JSON round-trip for the CLI (`nocdeploy-cli certify --certificate F`).
+json::Value certificate_to_json(const Certificate& cert);
+Certificate certificate_from_json(const json::Value& v);
+
+/// One-shot: solve and extract the matching certificate (duals on kOptimal,
+/// Farkas ray on kInfeasible; empty data otherwise).
+struct CertifiedLpResult {
+  LpResult result;
+  Certificate cert;
+};
+CertifiedLpResult solve_lp_certified(const Problem& p, Simplex::Options opt = {});
+
+}  // namespace nd::lp

@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/stats.hpp"
+#include "lp/certificate.hpp"
 
 namespace nd::lp {
 
@@ -179,7 +181,7 @@ void Simplex::compute_reduced_costs() {
   d_ = cost_;
   for (int r = 0; r < m_; ++r) {
     const double cb = cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
-    if (cb == 0.0) continue;
+    if (cb == 0.0) continue;  // fp-exact: zero-cost skip, not a tolerance test
     const double* t = trow(r);
     for (int c = 0; c < nw_; ++c) d_[static_cast<std::size_t>(c)] -= cb * t[c];
   }
@@ -240,7 +242,7 @@ bool Simplex::rebuild_tableau() {
       if (r == best) continue;
       double* rr = trow(r);
       const double f = rr[col];
-      if (f == 0.0) continue;
+      if (f == 0.0) continue;  // fp-exact: zero multiplier eliminates nothing
       for (int c = 0; c < nw_; ++c) rr[c] -= f * pr[c];
       for (const int c : live_art) rr[c] -= f * pr[c];
       b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(best)];
@@ -297,13 +299,13 @@ void Simplex::pivot(int r, int q, double leave_target) {
   for (int rr = 0; rr < m_; ++rr) {
     if (rr == r) continue;
     const double f = col[static_cast<std::size_t>(rr)];
-    if (f == 0.0) continue;
+    if (f == 0.0) continue;  // fp-exact: zero multiplier eliminates nothing
     double* t = trow(rr);
     for (int c = 0; c < nw_; ++c) t[c] -= f * pr[c];
     t[q] = 0.0;
   }
   const double dq = d_[static_cast<std::size_t>(q)];
-  if (dq != 0.0) {
+  if (dq != 0.0) {  // fp-exact: zero reduced cost needs no update
     for (int c = 0; c < nw_; ++c) d_[static_cast<std::size_t>(c)] -= dq * pr[c];
   }
   d_[static_cast<std::size_t>(q)] = 0.0;
@@ -522,7 +524,14 @@ SolveStatus Simplex::dual_loop() {
         best_alpha = std::abs(a);
       }
     }
-    if (q < 0) return SolveStatus::kInfeasible;
+    if (q < 0) {
+      // No entering column can repair row r: the row itself (a row of B⁻¹
+      // applied to the original system) is a Farkas certificate; remember it
+      // for extract_certificate().
+      infeas_row_ = r;
+      infeas_need_increase_ = need_increase;
+      return SolveStatus::kInfeasible;
+    }
     pivot(r, q, target);
 #if ND_INVARIANTS_ENABLED
     check_basis_consistency();
@@ -538,13 +547,14 @@ SolveStatus Simplex::dual_loop() {
 
 SolveStatus Simplex::solve() {
   build_initial_basis();
+  infeas_row_ = -1;
 #if ND_INVARIANTS_ENABLED
   check_basis_consistency();
 #endif
   if (phase1_) {
     compute_reduced_costs();
     const SolveStatus s1 = primal_loop();
-    if (s1 == SolveStatus::kIterLimit) return s1;
+    if (s1 == SolveStatus::kIterLimit) return last_status_ = s1;
     ND_ASSERT(s1 != SolveStatus::kUnbounded, "phase-1 objective is bounded below by 0");
     double art_sum = 0.0;
     for (int r = 0; r < m_; ++r) {
@@ -552,7 +562,9 @@ SolveStatus Simplex::solve() {
       art_sum += std::abs(xval_[static_cast<std::size_t>(ac)]);
     }
     if (art_sum > opt_.tol * std::max(1.0, static_cast<double>(m_))) {
-      return SolveStatus::kInfeasible;
+      // cost_ still holds the phase-1 objective: extract_certificate() reads
+      // the phase-1 duals as the Farkas ray.
+      return last_status_ = SolveStatus::kInfeasible;
     }
   }
   // Close all artificials and switch to the real objective.
@@ -564,11 +576,12 @@ SolveStatus Simplex::solve() {
   cost_ = real_cost_;
   compute_reduced_costs();
   const SolveStatus s2 = primal_loop();
-  return s2;
+  return last_status_ = s2;
 }
 
 SolveStatus Simplex::dual_resolve() {
   if (!basis_valid_) return solve();
+  infeas_row_ = -1;
   SolveStatus s = dual_loop();
   if (s == SolveStatus::kIterLimit) {
     // Numerical trouble: refactor once, then fall back to a cold solve.
@@ -581,7 +594,7 @@ SolveStatus Simplex::dual_resolve() {
     // clean up any tolerance-level dual violations introduced by drift.
     s = primal_loop();
   }
-  return s;
+  return last_status_ = s;
 }
 
 void Simplex::set_bound(int j, double lo, double hi) {
@@ -596,7 +609,7 @@ void Simplex::set_bound(int j, double lo, double hi) {
                             : (std::isfinite(hi) ? hi : lo);
   // Keep the variable exactly on a (possibly moved) bound.
   const double delta = target - xval_[ju];
-  if (delta != 0.0) {
+  if (delta != 0.0) {  // fp-exact: the bound genuinely moved or it did not
     for (int r = 0; r < m_; ++r) {
       const int b = basis_[static_cast<std::size_t>(r)];
       xval_[static_cast<std::size_t>(b)] -= trow(r)[j] * delta;
@@ -616,6 +629,65 @@ std::vector<double> Simplex::solution() const {
   return {xval_.begin(), xval_.begin() + n_};
 }
 
+Certificate Simplex::extract_certificate() const {
+  Certificate cert;
+  cert.status = last_status_;
+  if (last_status_ == SolveStatus::kOptimal) {
+    // y = c_BᵀB⁻¹, read off the slack columns of the tableau (A_slack = I,
+    // so tableau column slack_col(k) IS column k of B⁻¹).
+    cert.y.resize(static_cast<std::size_t>(m_));
+    for (int k = 0; k < m_; ++k) {
+      NeumaierSum acc;
+      for (int r = 0; r < m_; ++r) {
+        const double cb = cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+        if (cb == 0.0) continue;  // fp-exact: zero-cost skip, not a tolerance test
+        acc.add_product(cb, trow(r)[slack_col(k)]);
+      }
+      cert.y[static_cast<std::size_t>(k)] = acc.value();
+    }
+    // Reduced costs recomputed against the ORIGINAL data, not the engine's
+    // incrementally-updated d_ — the certificate must not inherit drift.
+    cert.d.resize(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      NeumaierSum acc;
+      acc.add(real_cost_[static_cast<std::size_t>(j)]);
+      for (int r = 0; r < m_; ++r) {
+        acc.add_product(-cert.y[static_cast<std::size_t>(r)],
+                        orig_[static_cast<std::size_t>(r) * nt_ + static_cast<std::size_t>(j)]);
+      }
+      cert.d[static_cast<std::size_t>(j)] = acc.value();
+    }
+    cert.x = solution();
+    cert.obj = objective();
+    cert.vstat.assign(stat_.begin(), stat_.begin() + n_);
+    cert.basis = basis_;
+  } else if (last_status_ == SolveStatus::kInfeasible) {
+    cert.farkas.resize(static_cast<std::size_t>(m_));
+    if (infeas_row_ < 0) {
+      // Phase-1 proof: cost_ still holds the phase-1 objective, so the same
+      // y = c_BᵀB⁻¹ formula yields the Farkas ray directly.
+      for (int k = 0; k < m_; ++k) {
+        NeumaierSum acc;
+        for (int r = 0; r < m_; ++r) {
+          const double cb = cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+          if (cb == 0.0) continue;  // fp-exact: zero-cost skip, not a tolerance test
+          acc.add_product(cb, trow(r)[slack_col(k)]);
+        }
+        cert.farkas[static_cast<std::size_t>(k)] = acc.value();
+      }
+    } else {
+      // Dual-simplex breakdown at row r: that row of B⁻¹ is the ray, with
+      // the sign chosen by which bound the basic variable violated.
+      const double sign = infeas_need_increase_ ? -1.0 : 1.0;
+      for (int k = 0; k < m_; ++k) {
+        cert.farkas[static_cast<std::size_t>(k)] =
+            sign * trow(infeas_row_)[slack_col(k)];
+      }
+    }
+  }
+  return cert;
+}
+
 LpResult solve_lp(const Problem& p, Simplex::Options opt) {
   Simplex engine(p, opt);
   LpResult res;
@@ -626,6 +698,19 @@ LpResult solve_lp(const Problem& p, Simplex::Options opt) {
     res.x = engine.solution();
   }
   return res;
+}
+
+CertifiedLpResult solve_lp_certified(const Problem& p, Simplex::Options opt) {
+  Simplex engine(p, opt);
+  CertifiedLpResult out;
+  out.result.status = engine.solve();
+  out.result.iterations = engine.iterations();
+  if (out.result.status == SolveStatus::kOptimal) {
+    out.result.obj = engine.objective();
+    out.result.x = engine.solution();
+  }
+  out.cert = engine.extract_certificate();
+  return out;
 }
 
 }  // namespace nd::lp

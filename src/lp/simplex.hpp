@@ -37,6 +37,8 @@ const char* to_string(SolveStatus s);
 /// Variable position relative to the basis.
 enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
 
+struct Certificate;  // lp/certificate.hpp
+
 class Simplex {
  public:
   struct Options {
@@ -84,6 +86,17 @@ class Simplex {
   [[nodiscard]] VarStatus var_status(int j) const { return stat_[static_cast<std::size_t>(j)]; }
 
   [[nodiscard]] int iterations() const { return total_iters_; }
+
+  /// Status of the most recent solve()/dual_resolve() call.
+  [[nodiscard]] SolveStatus last_status() const { return last_status_; }
+
+  /// Build a certificate for the most recent solve: row duals recomputed
+  /// from the tableau (y = c_BᵀB⁻¹) and reduced costs recomputed from the
+  /// ORIGINAL data (d = c − Aᵀy) on kOptimal; a Farkas ray on kInfeasible
+  /// (phase-1 duals, or ±row of B⁻¹ at a dual-simplex breakdown row). The
+  /// certificate is relative to the engine's CURRENT variable bounds —
+  /// identical to the problem's unless set_bound() was used.
+  [[nodiscard]] Certificate extract_certificate() const;
 
  private:
   // Column layout: [0, n) structural, [n, n+m) slack, [n+m, n+2m) artificial.
@@ -143,6 +156,9 @@ class Simplex {
   bool basis_valid_ = false;
   int degen_run_ = 0;
   int total_iters_ = 0;
+  SolveStatus last_status_ = SolveStatus::kIterLimit;
+  int infeas_row_ = -1;  ///< dual-simplex breakdown row (-1: phase-1 proof)
+  bool infeas_need_increase_ = false;
 #if ND_INVARIANTS_ENABLED
   int bland_run_ = 0;  ///< consecutive degenerate pivots under Bland pricing
 #endif

@@ -1,0 +1,88 @@
+// Branch-and-bound audit log: a complete, replayable trace of the search
+// tree. When MipOptions::audit is set, the solver records every node it
+// creates — the bound interval that spawned it, its LP bound, and how it was
+// disposed of (branched, pruned, integral, completion-closed, skipped under
+// the parent bound, or cut off by a limit) — plus the root LP certificate,
+// every root reduced-cost fixing, and the incumbent trajectory.
+//
+// The replayer (analysis/certify_bnb.hpp) re-walks this log against the
+// original model and confirms, without trusting the solver: bounds never
+// regress down the tree, every branch's children partition the parent's
+// domain, every prune was legal against the FINAL incumbent, the incumbent
+// only ever improved and matches the returned solution, and a status of
+// kOptimal is only claimed for a fully disposed tree.
+#pragma once
+
+#include <vector>
+
+#include "common/json.hpp"
+#include "lp/certificate.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace nd::milp {
+
+/// How a node left the active set.
+enum class NodeDisp : std::uint8_t {
+  kUnprocessed,        ///< created but never reached (only legal under a limit)
+  kBranched,           ///< split into two children
+  kPrunedBound,        ///< LP bound ≥ incumbent cutoff
+  kPrunedInfeasible,   ///< node LP infeasible
+  kIntegral,           ///< LP point integral (incumbent candidate)
+  kCompletionClosed,   ///< completion heuristic matched the LP bound
+  kSkippedParentBound, ///< sibling never solved: parent bound ≥ cutoff
+  kLimit,              ///< time/node/iteration limit hit at this node
+};
+
+const char* to_string(NodeDisp d);
+
+struct AuditNode {
+  int id = -1;
+  int parent = -1;   ///< -1 for the root
+  int var = -1;      ///< bound applied at creation (-1 for the root)
+  double lo = 0.0, hi = 0.0;
+  bool lp_solved = false;
+  double bound = 0.0;         ///< node LP objective (valid iff lp_solved)
+  NodeDisp disp = NodeDisp::kUnprocessed;
+  int branch_var = -1;        ///< variable split here (kBranched only)
+  bool has_completion = false;
+  double completion_obj = 0.0;
+  bool incumbent_update = false;
+  double incumbent_obj = 0.0;  ///< incumbent value right after the update
+};
+
+/// One root reduced-cost fixing: variable frozen to a single bound for the
+/// whole tree because its reduced cost alone closes the incumbent gap.
+struct RootFixing {
+  int var = -1;
+  bool at_lower = false;  ///< frozen at its lower bound (else upper)
+  double lo = 0.0, hi = 0.0;  ///< the frozen interval (lo == hi)
+};
+
+struct AuditLog {
+  // Root state.
+  bool warm_accepted = false;
+  double warm_obj = 0.0;       ///< initial incumbent (valid iff warm_accepted)
+  double root_bound = 0.0;
+  lp::Certificate root_cert;   ///< optimality proof / Farkas ray for the root LP
+  std::vector<RootFixing> root_fixings;
+
+  // The tree, in creation order (node 0 is the root).
+  std::vector<AuditNode> nodes;
+
+  // Claimed outcome, mirrored from MipResult.
+  MipStatus status = MipStatus::kUnknown;
+  double obj = 0.0;
+  double best_bound = 0.0;
+  std::vector<double> x;
+
+  // Tolerances the run used (the replayer honours the same gaps).
+  double int_tol = 1e-6;
+  double abs_gap = 1e-9;
+  double rel_gap = 1e-6;
+};
+
+/// JSON round-trip for the CLI (`nocdeploy-cli certify --audit F`).
+json::Value audit_to_json(const AuditLog& log);
+AuditLog audit_from_json(const json::Value& v);
+
+}  // namespace nd::milp

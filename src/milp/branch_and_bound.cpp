@@ -8,7 +8,9 @@
 #include "common/check.hpp"
 #include "common/invariants.hpp"
 #include "common/stopwatch.hpp"
+#include "lp/certificate.hpp"
 #include "lp/simplex.hpp"
+#include "milp/audit.hpp"
 
 namespace nd::milp {
 
@@ -36,6 +38,7 @@ struct Frame {
   double second_lo = 0.0, second_hi = 0.0;
   double node_obj = 0.0;  ///< LP bound of the node that was split
   bool second_done = false;
+  int audit_id = -1;  ///< audit id of the split node (when auditing)
 };
 
 /// Most fractional integer variable within the highest fractional priority
@@ -65,6 +68,32 @@ MipResult solve(const Model& model, const MipOptions& opt) {
   Stopwatch clock;
   MipResult res;
 
+  AuditLog* aud = opt.audit;
+  if (aud != nullptr) {
+    *aud = AuditLog{};
+    aud->int_tol = opt.int_tol;
+    aud->abs_gap = opt.abs_gap;
+    aud->rel_gap = opt.rel_gap;
+  }
+  const auto new_audit_node = [&](int parent, int var, double lo, double hi) -> int {
+    if (aud == nullptr) return -1;
+    AuditNode node;
+    node.id = static_cast<int>(aud->nodes.size());
+    node.parent = parent;
+    node.var = var;
+    node.lo = lo;
+    node.hi = hi;
+    aud->nodes.push_back(node);
+    return node.id;
+  };
+  const auto finalize_audit = [&]() {
+    if (aud == nullptr) return;
+    aud->status = res.status;
+    aud->obj = res.obj;
+    aud->best_bound = res.best_bound;
+    aud->x = res.x;
+  };
+
   lp::Simplex::Options lp_opt;
   // Node LPs re-solve in tens of pivots; a tight cap makes pathological
   // degenerate episodes fail fast into the rebuild/cold-solve fallback
@@ -83,14 +112,25 @@ MipResult solve(const Model& model, const MipOptions& opt) {
     res.x = *opt.warm_start;
     incumbent_obj = model.lp().objective_value(*opt.warm_start);
     have_incumbent = true;
+    if (aud != nullptr) {
+      aud->warm_accepted = true;
+      aud->warm_obj = incumbent_obj;
+    }
   }
 
   lp::SolveStatus lp_status = engine.solve();
+  int cur_node = new_audit_node(-1, -1, 0.0, 0.0);
+  if (aud != nullptr) aud->root_cert = engine.extract_certificate();
   if (lp_status == lp::SolveStatus::kInfeasible) {
     res.status = MipStatus::kInfeasible;
     res.best_bound = std::numeric_limits<double>::infinity();
     res.seconds = clock.seconds();
     res.lp_iterations = engine.iterations();
+    if (aud != nullptr) {
+      aud->root_bound = res.best_bound;
+      aud->nodes[0].disp = NodeDisp::kPrunedInfeasible;
+    }
+    finalize_audit();
     return res;
   }
   ND_ASSERT(lp_status != lp::SolveStatus::kUnbounded,
@@ -99,6 +139,10 @@ MipResult solve(const Model& model, const MipOptions& opt) {
   const double root_bound =
       (lp_status == lp::SolveStatus::kOptimal) ? engine.objective()
                                                : -std::numeric_limits<double>::infinity();
+  if (aud != nullptr) {
+    aud->root_bound = root_bound;
+    if (lp_status != lp::SolveStatus::kOptimal) aud->nodes[0].disp = NodeDisp::kLimit;
+  }
 
   // Root reduced-cost fixing: with an incumbent in hand, a nonbasic integer
   // variable whose reduced cost alone would push the objective past the
@@ -116,9 +160,11 @@ MipResult solve(const Model& model, const MipOptions& opt) {
       if (st == lp::VarStatus::kAtLower && d > slack + 1e-9) {
         engine.set_bound(j, lo, lo);
         ++fixed;
+        if (aud != nullptr) aud->root_fixings.push_back({j, true, lo, lo});
       } else if (st == lp::VarStatus::kAtUpper && -d > slack + 1e-9) {
         engine.set_bound(j, hi, hi);
         ++fixed;
+        if (aud != nullptr) aud->root_fixings.push_back({j, false, hi, hi});
       }
     }
     if (opt.verbose && fixed > 0) {
@@ -158,6 +204,7 @@ MipResult solve(const Model& model, const MipOptions& opt) {
   while (!hit_limit) {
     ++res.nodes;
     if (clock.seconds() > opt.time_limit_s || res.nodes > opt.node_limit) {
+      if (aud != nullptr) aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kLimit;
       hit_limit = true;
       break;
     }
@@ -173,6 +220,16 @@ MipResult solve(const Model& model, const MipOptions& opt) {
       node_obj = engine.objective();
       if (node_obj >= cutoff()) prune = true;
     }
+    if (aud != nullptr) {
+      AuditNode& node = aud->nodes[static_cast<std::size_t>(cur_node)];
+      if (node_solved) {
+        node.lp_solved = true;
+        node.bound = node_obj;
+        if (prune) node.disp = NodeDisp::kPrunedBound;
+      } else {
+        node.disp = NodeDisp::kPrunedInfeasible;
+      }
+    }
 
     if (!prune && opt.completion) {
       // Problem-specific completion: may both improve the incumbent and
@@ -181,16 +238,29 @@ MipResult solve(const Model& model, const MipOptions& opt) {
       if (opt.completion(engine.solution(), &candidate) &&
           model.is_mip_feasible(candidate, std::max(1e-5, opt.int_tol))) {
         const double cand_obj = model.lp().objective_value(candidate);
+        if (aud != nullptr) {
+          AuditNode& node = aud->nodes[static_cast<std::size_t>(cur_node)];
+          node.has_completion = true;
+          node.completion_obj = cand_obj;
+        }
         if (cand_obj < incumbent_obj) {
           incumbent_obj = cand_obj;
           res.x = std::move(candidate);
           have_incumbent = true;
+          if (aud != nullptr) {
+            AuditNode& node = aud->nodes[static_cast<std::size_t>(cur_node)];
+            node.incumbent_update = true;
+            node.incumbent_obj = incumbent_obj;
+          }
 #if ND_INVARIANTS_ENABLED
           check_incumbent();
 #endif
         }
         if (cand_obj <= node_obj + std::max(opt.abs_gap, opt.rel_gap * std::abs(cand_obj))) {
           prune = true;  // subtree cannot beat this candidate
+          if (aud != nullptr) {
+            aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kCompletionClosed;
+          }
         }
       }
     }
@@ -212,11 +282,19 @@ MipResult solve(const Model& model, const MipOptions& opt) {
           incumbent_obj = node_obj;
           res.x = std::move(x);
           have_incumbent = true;
+          if (aud != nullptr) {
+            AuditNode& node = aud->nodes[static_cast<std::size_t>(cur_node)];
+            node.incumbent_update = true;
+            node.incumbent_obj = incumbent_obj;
+          }
 #if ND_INVARIANTS_ENABLED
           check_incumbent();
 #endif
         }
         prune = true;
+        if (aud != nullptr) {
+          aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kIntegral;
+        }
       }
     }
 
@@ -229,6 +307,7 @@ MipResult solve(const Model& model, const MipOptions& opt) {
       if (f.old_hi - f.old_lo < 0.5) {
         // A fixed variable with a fractional LP value means the engine lost
         // primal feasibility beyond repair — stop with what we have.
+        if (aud != nullptr) aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kLimit;
         hit_limit = true;
         break;
       }
@@ -250,10 +329,18 @@ MipResult solve(const Model& model, const MipOptions& opt) {
         f.second_lo = f.old_lo;
         f.second_hi = fl;
       }
+      f.audit_id = cur_node;
+      if (aud != nullptr) {
+        AuditNode& node = aud->nodes[static_cast<std::size_t>(cur_node)];
+        node.disp = NodeDisp::kBranched;
+        node.branch_var = branch_var;
+      }
       stack.push_back(f);
       engine.set_bound(branch_var, first_lo, first_hi);
+      cur_node = new_audit_node(f.audit_id, branch_var, first_lo, first_hi);
       const lp::SolveStatus s = engine.dual_resolve();
       if (s == lp::SolveStatus::kIterLimit) {
+        if (aud != nullptr) aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kLimit;
         hit_limit = true;
         break;
       }
@@ -271,10 +358,18 @@ MipResult solve(const Model& model, const MipOptions& opt) {
       if (!f.second_done) {
         f.second_done = true;
         engine.set_bound(f.var, f.second_lo, f.second_hi);
+        const int sibling = new_audit_node(f.audit_id, f.var, f.second_lo, f.second_hi);
         // Parent bound may already prune the sibling subtree.
-        if (f.node_obj >= cutoff()) continue;
+        if (f.node_obj >= cutoff()) {
+          if (aud != nullptr) {
+            aud->nodes[static_cast<std::size_t>(sibling)].disp = NodeDisp::kSkippedParentBound;
+          }
+          continue;
+        }
+        cur_node = sibling;
         const lp::SolveStatus s = engine.dual_resolve();
         if (s == lp::SolveStatus::kIterLimit) {
+          if (aud != nullptr) aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kLimit;
           hit_limit = true;
           break;
         }
@@ -306,6 +401,7 @@ MipResult solve(const Model& model, const MipOptions& opt) {
     res.status = have_incumbent ? MipStatus::kOptimal : MipStatus::kInfeasible;
   }
   if (have_incumbent) res.obj = incumbent_obj;
+  finalize_audit();
   return res;
 }
 

@@ -24,6 +24,8 @@ enum class MipStatus : std::uint8_t {
 
 const char* to_string(MipStatus s);
 
+struct AuditLog;  // milp/audit.hpp
+
 struct MipOptions {
   double time_limit_s = 120.0;
   std::int64_t node_limit = 50'000'000;
@@ -41,6 +43,11 @@ struct MipOptions {
   /// tolerances, the node is solved exactly and pruned.
   std::function<bool(const std::vector<double>& lp_point, std::vector<double>* out)>
       completion;
+  /// Optional audit sink: when set, the solver overwrites it with a complete
+  /// replayable trace of the tree (see milp/audit.hpp and
+  /// analysis/certify_bnb.hpp). Costs one extra root-certificate extraction
+  /// and O(1) bookkeeping per node.
+  AuditLog* audit = nullptr;
 };
 
 struct MipResult {

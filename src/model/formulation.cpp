@@ -422,8 +422,9 @@ void Formulation::add_flow_rows() {
         if (b == g) continue;
         const double t0 = byte_scale_ * p_->mesh().time_per_byte(b, g, 0);
         const double t1 = byte_scale_ * p_->mesh().time_per_byte(b, g, 1);
-        if (t0 != 0.0) tc_row.coef.emplace_back(g_flow(j, b, g), t0);
-        if (t1 - t0 != 0.0) tc_row.coef.emplace_back(qg_flow(j, b, g), t1 - t0);
+        // Sparsity skip — a coefficient that is exactly 0 adds no term.
+        if (t0 != 0.0) tc_row.coef.emplace_back(g_flow(j, b, g), t0);  // fp-exact
+        if (t1 - t0 != 0.0) tc_row.coef.emplace_back(qg_flow(j, b, g), t1 - t0);  // fp-exact
       }
     }
     model_.add_row(std::move(tc_row));
@@ -540,8 +541,9 @@ void Formulation::add_energy_rows() {
           if (b == g) continue;
           const double e0 = byte_scale_ * p_->mesh().energy_per_byte(b, g, k, 0);
           const double e1 = byte_scale_ * p_->mesh().energy_per_byte(b, g, k, 1);
-          if (e0 != 0.0) row.coef.emplace_back(g_flow(j, b, g), e0);
-          if (e1 - e0 != 0.0) row.coef.emplace_back(qg_flow(j, b, g), e1 - e0);
+          // Sparsity skip — a coefficient that is exactly 0 adds no term.
+          if (e0 != 0.0) row.coef.emplace_back(g_flow(j, b, g), e0);  // fp-exact
+          if (e1 - e0 != 0.0) row.coef.emplace_back(qg_flow(j, b, g), e1 - e0);  // fp-exact
         }
       }
     }

@@ -194,6 +194,22 @@ int Mesh::manhattan(int a, int b) const {
   return std::abs(ra - rb) + std::abs(ca - cb);
 }
 
+bool Mesh::are_neighbours(int a, int b) const {
+  if (a < 0 || a >= num_procs() || b < 0 || b >= num_procs()) return false;
+  return manhattan(a, b) == 1;
+}
+
+std::vector<int> Mesh::neighbours(int node) const {
+  ND_REQUIRE(node >= 0 && node < num_procs(), "node index out of range");
+  const auto [r, c] = coords(node);
+  std::vector<int> out;
+  if (c + 1 < params_.cols) out.push_back(node_id(r, c + 1));
+  if (c - 1 >= 0) out.push_back(node_id(r, c - 1));
+  if (r + 1 < params_.rows) out.push_back(node_id(r + 1, c));
+  if (r - 1 >= 0) out.push_back(node_id(r - 1, c));
+  return out;
+}
+
 const Mesh::PathInfo& Mesh::info(int beta, int gamma, int rho) const {
   ND_REQUIRE(beta >= 0 && beta < num_procs() && gamma >= 0 && gamma < num_procs(),
              "processor index out of range");

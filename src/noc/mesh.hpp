@@ -59,6 +59,14 @@ class Mesh {
   }
   [[nodiscard]] int manhattan(int a, int b) const;
 
+  /// True iff a and b are distinct nodes joined by a mesh link
+  /// (Manhattan distance 1).
+  [[nodiscard]] bool are_neighbours(int a, int b) const;
+
+  /// Node ids adjacent to `node`, in the fixed east/west/south/north order
+  /// the link enumeration uses (2–4 entries depending on position).
+  [[nodiscard]] std::vector<int> neighbours(int node) const;
+
   /// Router sequence of path ρ from β to γ (β first, γ last; {β} if β == γ).
   [[nodiscard]] const std::vector<int>& path_nodes(int beta, int gamma, int rho) const;
 

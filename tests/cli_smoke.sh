@@ -24,6 +24,31 @@ grep -q "digraph" "$DIR/dep.dot"
   -o "$DIR/sol_sa.json" | grep -q "valid"
 "$CLI" validate --problem "$DIR/prob.json" --solution "$DIR/sol_sa.json" | grep -q "^valid$"
 
+# Certify: heuristic mode re-validates + re-simulates the deployment.
+"$CLI" certify --problem "$DIR/prob.json" --method heuristic | grep -q "certify: accepted"
+
+# Certify: a fully audited MILP solve, certificate + audit emitted...
+"$CLI" gen --tasks 4 --rows 2 --cols 2 --alpha 2.5 --seed 11 -o "$DIR/small.json"
+"$CLI" certify --problem "$DIR/small.json" --method optimal --time-limit 20 \
+  --emit-certificate "$DIR/cert.json" --emit-audit "$DIR/audit.json" \
+  -o "$DIR/milp_sol.json" | grep -q "certify: accepted"
+test -s "$DIR/cert.json"
+test -s "$DIR/audit.json"
+
+# ...then the file mode re-checks solution, certificate and audit offline.
+"$CLI" certify --problem "$DIR/small.json" --solution "$DIR/milp_sol.json" \
+  --certificate "$DIR/cert.json" --audit "$DIR/audit.json" | grep -q "certify: accepted"
+
+# A tampered audit log must be REJECTED with exit 1: a proved lower bound
+# above the incumbent objective is impossible.
+sed 's/"best_bound": *[-+0-9.eE]*/"best_bound": 1e9/' "$DIR/audit.json" \
+  > "$DIR/audit_bad.json"
+if "$CLI" certify --problem "$DIR/small.json" --solution "$DIR/milp_sol.json" \
+     --certificate "$DIR/cert.json" --audit "$DIR/audit_bad.json" >/dev/null 2>&1; then
+  echo "expected certify to reject the tampered audit" >&2
+  exit 1
+fi
+
 # Error paths: bad file and usage errors must not return success.
 if "$CLI" validate --problem /nonexistent.json --solution "$DIR/sol.json" 2>/dev/null; then
   echo "expected failure on missing problem file" >&2

@@ -335,6 +335,46 @@ TEST(LintProblem, UnreachableReliabilityThreshold) {
 // construct a violating instance through the public API.
 
 // ---------------------------------------------------------------------------
+// NoC routing-path linter
+
+TEST(LintNocPaths, HeterogeneousMeshHasNoErrors) {
+  nd::noc::MeshParams mp;
+  mp.rows = 3;
+  mp.cols = 3;
+  mp.seed = 5;
+  const nd::noc::Mesh mesh(mp);
+  const auto rep = nd::analysis::lint_noc_paths(mesh);
+  EXPECT_EQ(rep.num_errors(), 0) << rep.to_table();
+}
+
+TEST(LintNocPaths, ZeroVariationCollapsesCandidates) {
+  // With uniform link costs the energy- and time-shortest routes tie and the
+  // deterministic tie-break collapses them to the same walk — exactly the
+  // situation the ρ-diversity warning exists for.
+  nd::noc::MeshParams mp;
+  mp.rows = 3;
+  mp.cols = 3;
+  mp.variation = 0.0;
+  const nd::noc::Mesh mesh(mp);
+  const auto rep = nd::analysis::lint_noc_paths(mesh);
+  EXPECT_EQ(rep.num_errors(), 0) << rep.to_table();
+  EXPECT_GE(rep.count_code(codes::kNocPathsIdentical), 1);
+}
+
+TEST(LintNocPaths, XyYxRoutesAreCleanAndDiverse) {
+  // Dimension-ordered routing guarantees distinct routes for every pair that
+  // differs in both dimensions, even with uniform costs.
+  nd::noc::MeshParams mp;
+  mp.rows = 3;
+  mp.cols = 3;
+  mp.variation = 0.0;
+  mp.policy = nd::noc::PathPolicy::kXyYx;
+  const nd::noc::Mesh mesh(mp);
+  const auto rep = nd::analysis::lint_noc_paths(mesh);
+  EXPECT_TRUE(rep.empty()) << rep.to_table();
+}
+
+// ---------------------------------------------------------------------------
 // End to end: the full MILP formulation of seed instances lints clean.
 
 TEST(LintFormulation, SeedFormulationsAreClean) {

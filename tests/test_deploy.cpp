@@ -226,6 +226,113 @@ TEST(Validate, RelaxedDuplicationModeToleratesExtraCopies) {
   }
 }
 
+TEST(Validate, BoundaryTimesWithinToleranceAccepted) {
+  // Times that graze the limits by less than the tolerance must pass; the
+  // same perturbation scaled past the tolerance must fail. This pins the
+  // tol + rel_tol·H semantics of the time comparisons.
+  auto p = chain_problem();
+  const double t = p->vf().exec_time(1'000'000'000ull, 0);
+  p->set_horizon(2 * t);  // the schedule now ends exactly at H
+  nd::deploy::ValidationOptions opt;
+  const double tol = opt.tol + opt.rel_tol * p->horizon();
+
+  DeploymentSolution s = chain_solution_colocated(*p);
+  s.end[1] += 0.4 * tol;  // past H, but within tolerance
+  EXPECT_TRUE(nd::deploy::validate(*p, s, opt).ok());
+
+  s = chain_solution_colocated(*p);
+  s.end[1] += 3.0 * tol;  // past H by more than the tolerance
+  const auto res = nd::deploy::validate(*p, s, opt);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.summary().find("horizon"), std::string::npos) << res.summary();
+
+  // A start barely below 0 is tolerated; past the tolerance it is not.
+  s = chain_solution_colocated(*p);
+  s.start[0] -= 0.4 * tol;
+  s.end[0] -= 0.4 * tol;
+  s.start[1] -= 0.4 * tol;
+  s.end[1] -= 0.4 * tol;
+  EXPECT_TRUE(nd::deploy::validate(*p, s, opt).ok());
+  s.start[0] -= 3.0 * tol;
+  s.end[0] -= 3.0 * tol;
+  const auto res2 = nd::deploy::validate(*p, s, opt);
+  EXPECT_FALSE(res2.ok());
+  EXPECT_NE(res2.summary().find("before 0"), std::string::npos) << res2.summary();
+}
+
+TEST(Validate, RelaxedModeStillRequiresMandatoryDuplicate) {
+  // enforce_duplication_equivalence=false only waives the "no unnecessary
+  // copies" direction — a reliability shortfall still demands a duplicate.
+  auto spec = TinySpec{};
+  spec.lambda0 = 1e-2;
+  spec.num_tasks = 2;
+  spec.alpha = 10.0;
+  auto p = tiny_problem(spec);
+  DeploymentSolution s = nd::deploy::DeploymentSolution::empty(*p);
+  double t_acc = 0.0;
+  for (int i = 0; i < p->num_tasks(); ++i) {
+    s.level[static_cast<std::size_t>(i)] = 0;
+    s.proc[static_cast<std::size_t>(i)] = 0;
+    s.start[static_cast<std::size_t>(i)] = t_acc;
+    t_acc += nd::deploy::comp_time(*p, s, i);
+    s.end[static_cast<std::size_t>(i)] = t_acc;
+  }
+  nd::deploy::ValidationOptions relaxed;
+  relaxed.enforce_duplication_equivalence = false;
+  const auto res = nd::deploy::validate(*p, s, relaxed);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.summary().find("no duplicate"), std::string::npos) << res.summary();
+}
+
+TEST(Validate, MutationMatrixNamesEachConstraint) {
+  // One mutation per constraint class, each expected to surface its own
+  // violation message — proving the validator checks every clause, not just
+  // some aggregate.
+  struct Case {
+    const char* name;
+    void (*mutate)(DeploymentSolution&);
+    const char* expect;  // substring of the violation message
+  };
+  const Case cases[] = {
+      {"invalid-proc", [](DeploymentSolution& s) { s.proc[0] = 99; }, "invalid processor"},
+      {"invalid-level", [](DeploymentSolution& s) { s.level[1] = 99; }, "invalid V/F level"},
+      {"invalid-path", [](DeploymentSolution& s) { s.path_choice[1] = 7; },
+       "invalid path choice"},
+      {"end-not-start-plus-comp", [](DeploymentSolution& s) { s.end[0] += 0.5; },
+       "end != start + comp"},
+      {"original-task-absent", [](DeploymentSolution& s) { s.exists[0] = 0; },
+       "marked absent"},
+      {"unnecessary-duplicate",
+       [](DeploymentSolution& s) {
+         // Reliability is already met, so eq. (4) forbids this copy.
+         s.exists[2] = 1;
+         s.proc[2] = 1;
+         s.level[2] = 5;
+         s.end[2] = 0.4;
+       },
+       "duplicate exists"},
+  };
+  for (const Case& c : cases) {
+    auto p = chain_problem();
+    DeploymentSolution s = chain_solution_colocated(*p);
+    ASSERT_TRUE(nd::deploy::validate(*p, s).ok()) << "baseline must be valid";
+    c.mutate(s);
+    const auto res = nd::deploy::validate(*p, s);
+    EXPECT_FALSE(res.ok()) << c.name;
+    EXPECT_NE(res.summary().find(c.expect), std::string::npos)
+        << c.name << " → " << res.summary();
+  }
+}
+
+TEST(Validate, ShapeMismatchAbortsEarly) {
+  auto p = chain_problem();
+  DeploymentSolution s = chain_solution_colocated(*p);
+  s.start.pop_back();
+  const auto res = nd::deploy::validate(*p, s);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.summary().find("arity mismatch"), std::string::npos) << res.summary();
+}
+
 TEST(Evaluate, PhiCountsOnlyActiveProcessors) {
   // Everything on one processor: phi is computed over nonzero processors
   // only (paper's definition), so it degenerates to 1.0.

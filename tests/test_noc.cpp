@@ -28,6 +28,25 @@ TEST(Mesh, GeometryAndIds) {
   EXPECT_EQ(m.manhattan(5, 5), 0);
 }
 
+TEST(Mesh, NeighbourHelpers) {
+  const Mesh m(params4x4());
+  // Corner node 0 has 2 neighbours, edge node 1 has 3, interior node 5 has 4.
+  EXPECT_EQ(m.neighbours(0).size(), 2u);
+  EXPECT_EQ(m.neighbours(1).size(), 3u);
+  EXPECT_EQ(m.neighbours(5).size(), 4u);
+  for (const int v : m.neighbours(5)) {
+    EXPECT_TRUE(m.are_neighbours(5, v));
+    EXPECT_TRUE(m.are_neighbours(v, 5));
+  }
+  EXPECT_FALSE(m.are_neighbours(0, 0));    // self
+  EXPECT_FALSE(m.are_neighbours(0, 5));    // diagonal
+  EXPECT_FALSE(m.are_neighbours(0, 3));    // same row, 3 apart
+  EXPECT_FALSE(m.are_neighbours(-1, 0));   // out of range
+  EXPECT_FALSE(m.are_neighbours(0, 16));   // out of range
+  // Wrap-around is not adjacency: node 3 (row 0 end) vs node 4 (row 1 start).
+  EXPECT_FALSE(m.are_neighbours(3, 4));
+}
+
 TEST(Mesh, DiagonalIsFree) {
   const Mesh m(params4x4());
   for (int k = 0; k < m.num_procs(); ++k) {

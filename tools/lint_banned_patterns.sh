@@ -1,0 +1,50 @@
+#!/bin/sh
+# Banned-pattern lint over src/, tests/ and tools/.
+#
+# Three pattern classes, each with a rationale:
+#   1. rand()/std::rand — all randomness must flow through common/prng.hpp so
+#      every instance, mesh and heuristic run is reproducible from a seed.
+#   2. floating-point ==/!= against a float literal — almost always a
+#      tolerance bug in numeric code. Legitimate exact comparisons (zero-
+#      coefficient sparsity skips, 0/1 flag decodes) carry an `fp-exact`
+#      comment on the same line, which whitelists them.
+#   3. `using namespace std;` in headers — leaks into every includer.
+#
+# Exit 0 when clean, 1 with one "file:line: message" per hit otherwise.
+# Run from anywhere: paths resolve relative to the repo root. POSIX sh only —
+# ctest and CI invoke this with `sh`.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root" || exit 2
+
+fail=0
+report_hits() {  # report_hits <grep -n output> <message>
+  [ -n "$1" ] || return 0
+  printf '%s\n' "$1" | awk -F: -v msg="$2" '{print $1 ":" $2 ": " msg}'
+  fail=1
+}
+
+sources() { find src tests tools -name '*.cpp' -o -name '*.hpp' | sort; }
+headers() { find src tests tools -name '*.hpp' | sort; }
+
+# --- 1. rand()/std::rand -----------------------------------------------------
+hits="$(sources | xargs grep -nE '(^|[^_[:alnum:]])(std::)?rand[[:space:]]*\(' /dev/null | grep -v 'fp-exact')" || true
+report_hits "$hits" "rand()/std::rand is banned; use common/prng.hpp (seeded, reproducible)"
+
+# --- 2. float ==/!= without an fp-exact annotation ---------------------------
+# Matches a comparison where either side is a floating-point literal
+# (digits '.' digits). Comparisons between two variables are left to review;
+# a literal on one side is the greppable, high-signal case.
+float_eq='(==|!=)[[:space:]]*[-+]?[0-9]+\.[0-9]|[0-9]+\.[0-9]+f?[[:space:]]*(==|!=)'
+hits="$(sources | xargs grep -nE "$float_eq" /dev/null | grep -v 'fp-exact')" || true
+report_hits "$hits" "floating-point ==/!= needs a tolerance or an 'fp-exact' comment on the line"
+
+# --- 3. using namespace std; in headers --------------------------------------
+hits="$(headers | xargs grep -nE 'using[[:space:]]+namespace[[:space:]]+std[[:space:]]*;' /dev/null)" || true
+report_hits "$hits" "'using namespace std;' in a header leaks into every includer"
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint_banned_patterns: clean"
+fi
+exit "$fail"

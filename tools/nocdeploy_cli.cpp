@@ -6,14 +6,24 @@
 //   nocdeploy validate --problem prob.json --solution sol.json
 //   nocdeploy simulate --problem prob.json --solution sol.json [--trials 100000]
 //   nocdeploy lint     --problem prob.json [--model] [--json]
+//   nocdeploy certify  --problem prob.json --method optimal|heuristic
+//                      [--emit-certificate c.json] [--emit-audit a.json] [-o sol.json]
+//   nocdeploy certify  --problem prob.json --solution sol.json
+//                      [--certificate c.json] [--audit a.json] [--json]
+//   nocdeploy crosscheck [--seeds N] [--first-seed S] [--tasks N] [--json]
 //
 // Exit status: 0 on success/valid, 1 on infeasible/invalid/lint-errors,
 // 2 on usage error.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "analysis/certify_bnb.hpp"
+#include "analysis/certify_lp.hpp"
+#include "analysis/crosscheck.hpp"
 #include "analysis/lint_model.hpp"
 #include "analysis/lint_problem.hpp"
 #include "deploy/evaluate.hpp"
@@ -22,6 +32,8 @@
 #include "deploy/validate.hpp"
 #include "heuristic/annealing.hpp"
 #include "heuristic/phases.hpp"
+#include "lp/certificate.hpp"
+#include "milp/audit.hpp"
 #include "model/formulation.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/fault_injection.hpp"
@@ -54,7 +66,14 @@ int usage() {
                "           [--time-limit SEC] [-o solution.json] [--gantt] [--dot FILE]\n"
                "  validate --problem P.json --solution S.json\n"
                "  simulate --problem P.json --solution S.json [--trials N]\n"
-               "  lint     --problem P.json [--model] [--json]\n");
+               "  lint     --problem P.json [--model] [--json]\n"
+               "  certify  --problem P.json --method optimal|heuristic\n"
+               "           [--time-limit SEC] [--emit-certificate F] [--emit-audit F]\n"
+               "           [-o solution.json] [--json]\n"
+               "  certify  --problem P.json --solution S.json\n"
+               "           [--certificate F] [--audit F] [--json]\n"
+               "  crosscheck [--seeds N] [--first-seed S] [--tasks N] [--rows R]\n"
+               "           [--cols C] [--time-limit SEC] [--no-sim] [--json]\n");
   return 2;
 }
 
@@ -172,6 +191,152 @@ int cmd_lint(const Args& a) {
   return rep.num_errors() > 0 ? 1 : 0;
 }
 
+/// Shared tail of the certify modes: render the report, honour --json, exit 1
+/// on any error diagnostic.
+int finish_certify(const analysis::Report& rep, const Args& a) {
+  if (a.flags.count("json") != 0) {
+    std::printf("%s\n", rep.to_json().dump(2).c_str());
+  } else {
+    if (!rep.empty()) std::printf("%s", rep.to_table().c_str());
+    std::printf("certify: %s\n", rep.num_errors() > 0 ? "REJECTED" : "accepted");
+    std::printf("certify: %s\n", rep.summary().c_str());
+  }
+  return rep.num_errors() > 0 ? 1 : 0;
+}
+
+/// Validate + event-simulate one deployment into certify diagnostics.
+void certify_deployment(const deploy::DeploymentProblem& p,
+                        const deploy::DeploymentSolution& s, const std::string& who,
+                        analysis::Report& rep) {
+  const auto val = deploy::validate(p, s);
+  if (!val.ok()) {
+    rep.add(analysis::Severity::kError, analysis::codes::kXcheckSolutionInvalid, who,
+            val.violations.front());
+  }
+  const auto sr = sim::simulate(p, s);
+  if (!sr.ok()) {
+    rep.add(analysis::Severity::kError, analysis::codes::kXcheckSimDivergence, who,
+            sr.anomalies.empty() ? "simulation failed" : sr.anomalies.front());
+  }
+}
+
+int cmd_certify(const Args& a) {
+  if (a.get("problem").empty()) return usage();
+  auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
+  analysis::Report rep;
+  const std::string method = a.get("method");
+
+  if (method.empty()) {
+    // File mode: certify an existing solution (plus optional certificate and
+    // audit artifacts from an earlier `certify --method optimal` run).
+    if (a.get("solution").empty()) return usage();
+    const auto s =
+        deploy::solution_from_json(json::parse(deploy::read_file(a.get("solution"))), *p);
+    certify_deployment(*p, s, "solution", rep);
+    const double be = deploy::evaluate_energy(*p, s).max_proc();
+    if (!a.get("certificate").empty() || !a.get("audit").empty()) {
+      const model::Formulation f(*p);
+      if (!a.get("certificate").empty()) {
+        const auto cert =
+            lp::certificate_from_json(json::parse(deploy::read_file(a.get("certificate"))));
+        rep.merge(analysis::certify_lp(f.model().lp(), cert));
+        // The root LP relaxation lower-bounds every deployment's BE energy.
+        if (cert.status == lp::SolveStatus::kOptimal && be < cert.obj - 1e-6 * (1.0 + cert.obj)) {
+          rep.add(analysis::Severity::kError, analysis::codes::kXcheckBeBelowOptimal,
+                  "solution", "BE energy beats the certified LP lower bound");
+        }
+      }
+      if (!a.get("audit").empty()) {
+        const auto audit =
+            milp::audit_from_json(json::parse(deploy::read_file(a.get("audit"))));
+        rep.merge(analysis::certify_bnb(f.model(), audit));
+        if ((audit.status == milp::MipStatus::kOptimal ||
+             audit.status == milp::MipStatus::kFeasible) &&
+            std::abs(audit.obj - be) > 1e-6 * (1.0 + std::abs(audit.obj))) {
+          rep.add(analysis::Severity::kError, analysis::codes::kBnbIncumbentMismatch,
+                  "solution", "solution BE energy does not match the audited objective");
+        }
+      }
+    }
+    return finish_certify(rep, a);
+  }
+
+  if (method == "heuristic") {
+    const auto res = heuristic::solve_heuristic(*p);
+    if (!res.feasible) {
+      rep.add(analysis::Severity::kError, analysis::codes::kXcheckHeuristicInfeasible,
+              "heuristic", res.why);
+      return finish_certify(rep, a);
+    }
+    certify_deployment(*p, res.solution, "heuristic", rep);
+    if (!a.get("o").empty()) {
+      deploy::write_file(a.get("o"), deploy::solution_to_json(res.solution).dump(2) + "\n");
+    }
+    return finish_certify(rep, a);
+  }
+
+  if (method == "optimal") {
+    const auto warm = heuristic::solve_heuristic(*p);
+    const model::Formulation f(*p);
+    std::vector<double> warm_point;
+    milp::MipOptions mopt;
+    mopt.time_limit_s = a.num("time-limit", 60.0);
+    if (warm.feasible) {
+      warm_point = f.encode(warm.solution);
+      mopt.warm_start = &warm_point;
+    }
+    mopt.completion = [&f](const std::vector<double>& lp_point, std::vector<double>* out) {
+      return f.complete(lp_point, out);
+    };
+    milp::AuditLog audit;
+    mopt.audit = &audit;
+    const auto mip = milp::solve(f.model(), mopt);
+    std::printf("MILP status: %s, nodes %lld, bound %.6f\n", to_string(mip.status),
+                static_cast<long long>(mip.nodes), mip.best_bound);
+    rep.merge(analysis::certify_bnb(f.model(), audit));
+    if (mip.has_solution()) {
+      certify_deployment(*p, f.decode(mip.x), "milp", rep);
+      if (!a.get("o").empty()) {
+        deploy::write_file(a.get("o"),
+                           deploy::solution_to_json(f.decode(mip.x)).dump(2) + "\n");
+      }
+    } else if (warm.feasible) {
+      rep.add(analysis::Severity::kError, analysis::codes::kXcheckMilpFailed, "milp",
+              std::string("status '") + to_string(mip.status) +
+                  "' despite a feasible warm start");
+    }
+    if (!a.get("emit-certificate").empty()) {
+      deploy::write_file(a.get("emit-certificate"),
+                         lp::certificate_to_json(audit.root_cert).dump(2) + "\n");
+    }
+    if (!a.get("emit-audit").empty()) {
+      deploy::write_file(a.get("emit-audit"), milp::audit_to_json(audit).dump(2) + "\n");
+    }
+    return finish_certify(rep, a);
+  }
+  return usage();
+}
+
+int cmd_crosscheck(const Args& a) {
+  analysis::CrosscheckOptions opt;
+  opt.num_tasks = static_cast<int>(a.num("tasks", opt.num_tasks));
+  opt.rows = static_cast<int>(a.num("rows", opt.rows));
+  opt.cols = static_cast<int>(a.num("cols", opt.cols));
+  opt.milp_time_limit_s = a.num("time-limit", opt.milp_time_limit_s);
+  opt.run_simulation = a.flags.count("no-sim") == 0;
+  opt.verbose = a.flags.count("json") == 0;
+  const auto first = static_cast<std::uint64_t>(a.num("first-seed", 1));
+  const int count = static_cast<int>(a.num("seeds", 10));
+  const auto rep = analysis::crosscheck_range(first, count, opt);
+  if (a.flags.count("json") != 0) {
+    std::printf("%s\n", rep.to_json().dump(2).c_str());
+  } else {
+    if (!rep.empty()) std::printf("%s", rep.to_table().c_str());
+    std::printf("crosscheck: %d seed(s), %s\n", count, rep.summary().c_str());
+  }
+  return rep.num_errors() > 0 ? 1 : 0;
+}
+
 int cmd_simulate(const Args& a) {
   if (a.get("problem").empty() || a.get("solution").empty()) return usage();
   auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
@@ -215,6 +380,8 @@ int main(int argc, char** argv) {
     if (a.command == "validate") return cmd_validate(a);
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "lint") return cmd_lint(a);
+    if (a.command == "certify") return cmd_certify(a);
+    if (a.command == "crosscheck") return cmd_crosscheck(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
