@@ -2,9 +2,25 @@
 //
 // Two scales are used (see DESIGN.md, substitutions):
 //  * paper scale  — 4×4 mesh, M = 20, L = 6: heuristic experiments run here.
-//  * reduced scale — 2×2 mesh, M ≈ 4–6, L = 3: experiments that need the
-//    exact MILP optimum run here, because the from-scratch branch-and-bound
-//    replaces Gurobi. Warm starts come from the heuristic.
+//  * reduced scale — 2×2 mesh, L = 3, task count M pinned per bench (table
+//    below): experiments that need the exact MILP optimum run here, because
+//    the from-scratch branch-and-bound replaces Gurobi. Warm starts come
+//    from the heuristic.
+//
+// Per-bench task counts M — this table is authoritative; DESIGN.md and
+// EXPERIMENTS.md reference it rather than restating values:
+//
+//   | bench                 | M          | scale   |
+//   |-----------------------|------------|---------|
+//   | fig2a_multipath       | 4          | reduced |
+//   | fig2b_alloc_vs_mu     | 5          | reduced |
+//   | fig2c_dup_vs_eps      | 4          | reduced |
+//   | fig2de_be_vs_me       | 4          | reduced |
+//   | fig2fg_opt_vs_heur    | 2–6 sweep  | reduced |
+//   | fig2h_feasibility     | 4          | reduced |
+//   | baseline_comparison   | 4          | reduced |
+//   | ablation_heuristic    | 20         | paper   |
+//   | micro_solvers         | 20 (paper-scale cases; M=4 for SA) | both |
 #pragma once
 
 #include <cstdio>

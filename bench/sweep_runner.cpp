@@ -1,0 +1,170 @@
+#include "sweep_runner.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "heuristic/phases.hpp"
+#include "model/formulation.hpp"
+
+namespace nd::bench {
+
+namespace {
+
+struct SolveOut {
+  double seconds = 0.0;
+  double obj = 0.0;
+  std::int64_t nodes = 0;
+  milp::MipStatus status = milp::MipStatus::kUnknown;
+};
+
+/// Generate + heuristic-warm-start + MILP-solve one seeded instance. Always
+/// single-threaded internally, so the serial and pooled phases do the same
+/// work and must reach the same result.
+SolveOut solve_one(const Scale& base, std::uint64_t seed, double time_limit_s) {
+  Scale sc = base;
+  sc.seed = seed;
+  const auto p = make_instance(sc);
+  Stopwatch sw;
+  const auto warm = heuristic::solve_heuristic(*p);
+  milp::MipOptions mopt;
+  mopt.time_limit_s = time_limit_s;
+  mopt.num_threads = 1;
+  const auto res =
+      model::solve_optimal(*p, {}, mopt, warm.feasible ? &warm.solution : nullptr);
+  SolveOut out;
+  out.seconds = sw.seconds();
+  out.status = res.mip.status;
+  if (res.mip.has_solution()) out.obj = res.mip.obj;
+  out.nodes = res.mip.nodes;
+  return out;
+}
+
+json::Value stats_json(const Stats& st) {
+  return json::Object{{"mean", st.mean()},
+                      {"stddev", st.stddev()},
+                      {"min", st.min()},
+                      {"max", st.max()},
+                      {"median", st.median()}};
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepOptions& opt) {
+  SweepResult out;
+  out.threads_used = opt.threads > 0 ? opt.threads : ThreadPool::default_threads();
+  const int k = opt.seeds;
+  out.seeds.resize(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    out.seeds[static_cast<std::size_t>(i)].seed =
+        opt.first_seed + static_cast<std::uint64_t>(i);
+  }
+
+  // Phase 1: serial baseline, one instance after another on this thread.
+  std::int64_t serial_nodes = 0;
+  Stopwatch serial_sw;
+  for (int i = 0; i < k; ++i) {
+    SweepSeed& s = out.seeds[static_cast<std::size_t>(i)];
+    const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s);
+    s.serial_s = r.seconds;
+    s.serial_obj = r.obj;
+    s.serial_nodes = r.nodes;
+    s.serial_status = r.status;
+    serial_nodes += r.nodes;
+    if (opt.verbose) {
+      std::printf("[sweep] serial   seed %llu: %s obj %.6f in %.3f s (%lld nodes)\n",
+                  static_cast<unsigned long long>(s.seed), milp::to_string(r.status),
+                  r.obj, r.seconds, static_cast<long long>(r.nodes));
+    }
+  }
+  out.serial_wall_s = serial_sw.seconds();
+
+  // Phase 2: the same K instances fanned out across the pool.
+  std::int64_t parallel_nodes = 0;
+  {
+    ThreadPool pool(out.threads_used);
+    Stopwatch parallel_sw;
+    parallel_for(pool, k, [&](int i) {
+      SweepSeed& s = out.seeds[static_cast<std::size_t>(i)];
+      const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s);
+      s.parallel_s = r.seconds;
+      s.parallel_obj = r.obj;
+      s.parallel_nodes = r.nodes;
+      s.parallel_status = r.status;
+    });
+    out.parallel_wall_s = parallel_sw.seconds();
+  }
+  for (const SweepSeed& s : out.seeds) parallel_nodes += s.parallel_nodes;
+
+  for (SweepSeed& s : out.seeds) {
+    s.match = s.serial_status == s.parallel_status &&
+              std::abs(s.serial_obj - s.parallel_obj) <=
+                  1e-6 * (1.0 + std::abs(s.serial_obj));
+    if (!s.match) ++out.mismatches;
+    if (opt.verbose) {
+      std::printf("[sweep] parallel seed %llu: %s obj %.6f in %.3f s — %s\n",
+                  static_cast<unsigned long long>(s.seed),
+                  milp::to_string(s.parallel_status), s.parallel_obj, s.parallel_s,
+                  s.match ? "match" : "MISMATCH");
+    }
+  }
+
+  out.speedup = out.parallel_wall_s > 0.0 ? out.serial_wall_s / out.parallel_wall_s : 0.0;
+  out.serial_nodes_per_s =
+      out.serial_wall_s > 0.0 ? static_cast<double>(serial_nodes) / out.serial_wall_s : 0.0;
+  out.parallel_nodes_per_s =
+      out.parallel_wall_s > 0.0 ? static_cast<double>(parallel_nodes) / out.parallel_wall_s
+                                : 0.0;
+  return out;
+}
+
+json::Value SweepResult::to_json(const SweepOptions& opt) const {
+  Stats serial_stats, parallel_stats;
+  std::int64_t serial_node_total = 0, parallel_node_total = 0;
+  json::Array per_seed;
+  for (const SweepSeed& s : seeds) {
+    serial_stats.add(s.serial_s);
+    parallel_stats.add(s.parallel_s);
+    serial_node_total += s.serial_nodes;
+    parallel_node_total += s.parallel_nodes;
+    per_seed.push_back(json::Object{
+        {"seed", static_cast<std::int64_t>(s.seed)},
+        {"serial_s", s.serial_s},
+        {"parallel_s", s.parallel_s},
+        {"serial_obj", s.serial_obj},
+        {"parallel_obj", s.parallel_obj},
+        {"serial_nodes", s.serial_nodes},
+        {"parallel_nodes", s.parallel_nodes},
+        {"serial_status", milp::to_string(s.serial_status)},
+        {"parallel_status", milp::to_string(s.parallel_status)},
+        {"match", s.match},
+    });
+  }
+  return json::Object{
+      {"schema", "nocdeploy-sweep/1"},
+      {"config",
+       json::Object{{"seeds", opt.seeds},
+                    {"first_seed", static_cast<std::int64_t>(opt.first_seed)},
+                    {"threads", threads_used},
+                    {"time_limit_s", opt.time_limit_s},
+                    {"num_tasks", opt.scale.num_tasks},
+                    {"rows", opt.scale.rows},
+                    {"cols", opt.scale.cols},
+                    {"levels", opt.scale.levels}}},
+      {"serial", json::Object{{"wall_clock_s", serial_wall_s},
+                              {"nodes", serial_node_total},
+                              {"nodes_per_s", serial_nodes_per_s},
+                              {"seconds_per_seed", stats_json(serial_stats)}}},
+      {"parallel", json::Object{{"wall_clock_s", parallel_wall_s},
+                                {"nodes", parallel_node_total},
+                                {"nodes_per_s", parallel_nodes_per_s},
+                                {"seconds_per_seed", stats_json(parallel_stats)}}},
+      {"speedup", speedup},
+      {"mismatches", mismatches},
+      {"per_seed", std::move(per_seed)},
+  };
+}
+
+}  // namespace nd::bench

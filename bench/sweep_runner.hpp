@@ -1,0 +1,59 @@
+// Batched seed-sweep benchmark runner.
+//
+// Solves K seeded reduced-scale deployment instances twice: once back to back
+// on the calling thread (the serial baseline) and once fanned out across a
+// common::ThreadPool via parallel_for (one instance per pool task, each MILP
+// solve itself single-threaded so the two phases do identical work). The two
+// phases must prove the same objective for every seed — the sweep doubles as
+// an end-to-end determinism check — and the wall-clock ratio is the speedup
+// the pool delivers on this machine.
+//
+// `nocdeploy-cli sweep` wraps this and writes the result as BENCH_sweep.json
+// (schema "nocdeploy-sweep/1"; see EXPERIMENTS.md for the field reference).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/json.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace nd::bench {
+
+struct SweepOptions {
+  int seeds = 10;                 ///< number of instances (K)
+  std::uint64_t first_seed = 1;   ///< instance seeds are first_seed .. first_seed+K-1
+  int threads = 0;                ///< pool width; 0 = ThreadPool::default_threads()
+  double time_limit_s = 30.0;     ///< wall-clock cap per MILP solve
+  Scale scale = reduced_scale();  ///< instance shape (seed is overridden per run)
+  bool verbose = true;            ///< per-seed progress on stdout
+};
+
+/// One instance's outcome in both phases.
+struct SweepSeed {
+  std::uint64_t seed = 0;
+  double serial_s = 0.0, parallel_s = 0.0;       ///< per-solve wall clock
+  double serial_obj = 0.0, parallel_obj = 0.0;   ///< proved objective (0 if none)
+  std::int64_t serial_nodes = 0, parallel_nodes = 0;
+  milp::MipStatus serial_status = milp::MipStatus::kUnknown;
+  milp::MipStatus parallel_status = milp::MipStatus::kUnknown;
+  bool match = false;  ///< same status and (within 1e-6 relative) same objective
+};
+
+struct SweepResult {
+  int threads_used = 1;
+  double serial_wall_s = 0.0;    ///< wall clock of the whole serial phase
+  double parallel_wall_s = 0.0;  ///< wall clock of the whole pooled phase
+  double speedup = 0.0;          ///< serial_wall_s / parallel_wall_s
+  double serial_nodes_per_s = 0.0, parallel_nodes_per_s = 0.0;
+  int mismatches = 0;  ///< seeds whose two phases disagreed (must be 0)
+  std::vector<SweepSeed> seeds;
+
+  /// The BENCH_sweep.json document (schema "nocdeploy-sweep/1").
+  [[nodiscard]] json::Value to_json(const SweepOptions& opt) const;
+};
+
+SweepResult run_sweep(const SweepOptions& opt = {});
+
+}  // namespace nd::bench

@@ -102,6 +102,7 @@ SeedOutcome crosscheck_seed(std::uint64_t seed, const CrosscheckOptions& opt) {
   milp::AuditLog audit;
   milp::MipOptions mopt;
   mopt.time_limit_s = opt.milp_time_limit_s;
+  mopt.num_threads = opt.num_threads;
   mopt.warm_start = &warm_point;
   mopt.completion = [&f](const std::vector<double>& lp_point, std::vector<double>* cand) {
     return f.complete(lp_point, cand);

@@ -44,6 +44,11 @@ struct CrosscheckOptions {
   /// end kFeasible, which downgrades the optimality comparison to a (still
   /// sound) bound comparison instead of failing the harness.
   double milp_time_limit_s = 8.0;
+  /// Threads for each MILP solve (milp::MipOptions::num_threads): 1 runs the
+  /// sequential solver, >1 the work-sharing parallel solver, 0 the machine
+  /// default. The certify stage replays the merged audit either way, so
+  /// crosscheck doubles as an end-to-end test of the parallel path.
+  int num_threads = 1;
   double tol = 1e-6;          ///< objective/energy comparison tolerance
   bool run_simulation = true; ///< event-simulate both deployments
   bool verbose = false;       ///< per-seed progress on stdout

@@ -1,0 +1,95 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace nd {
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("NOCDEPLOY_THREADS"); env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= std::numeric_limits<int>::max()) return static_cast<int>(v);
+  }
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads > 0 ? num_threads : default_threads();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void parallel_for(ThreadPool& pool, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int remaining;
+    int first_error_index = std::numeric_limits<int>::max();
+    std::exception_ptr error;
+  } shared;
+  shared.remaining = n;
+
+  for (int i = 0; i < n; ++i) {
+    pool.submit([i, &shared, &fn] {
+      std::exception_ptr err;
+      try {
+        fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(shared.mu);
+      if (err && i < shared.first_error_index) {
+        shared.first_error_index = i;
+        shared.error = err;
+      }
+      if (--shared.remaining == 0) shared.done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.done_cv.wait(lock, [&shared] { return shared.remaining == 0; });
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+}  // namespace nd

@@ -1,5 +1,6 @@
 #include "milp/audit.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -165,6 +166,37 @@ AuditLog audit_from_json(const json::Value& v) {
   log.abs_gap = v.at("abs_gap").as_number();
   log.rel_gap = v.at("rel_gap").as_number();
   return log;
+}
+
+bool merge_audit_shards(const std::vector<AuditShard>& shards, AuditLog* log) {
+  log->nodes.clear();
+  std::size_t total = 0;
+  for (const AuditShard& s : shards) total += s.nodes.size();
+  log->nodes.reserve(total);
+  for (const AuditShard& s : shards) {
+    log->nodes.insert(log->nodes.end(), s.nodes.begin(), s.nodes.end());
+  }
+  std::sort(log->nodes.begin(), log->nodes.end(),
+            [](const AuditNode& a, const AuditNode& b) { return a.id < b.id; });
+  for (std::size_t i = 0; i < log->nodes.size(); ++i) {
+    if (log->nodes[i].id != static_cast<int>(i)) {
+      log->nodes.clear();
+      return false;  // duplicate or missing id — a recording bug
+    }
+  }
+  // Re-filter the incumbent trajectory into id order (see the header).
+  double incumbent =
+      log->warm_accepted ? log->warm_obj : std::numeric_limits<double>::infinity();
+  for (AuditNode& n : log->nodes) {
+    if (!n.incumbent_update) continue;
+    if (n.incumbent_obj < incumbent) {
+      incumbent = n.incumbent_obj;
+    } else {
+      n.incumbent_update = false;
+      n.incumbent_obj = 0.0;
+    }
+  }
+  return true;
 }
 
 }  // namespace nd::milp

@@ -85,4 +85,28 @@ struct AuditLog {
 json::Value audit_to_json(const AuditLog& log);
 AuditLog audit_from_json(const json::Value& v);
 
+/// One worker's slice of a parallel search tree: audit nodes in the order
+/// that worker processed them, each carrying a globally unique, globally
+/// creation-ordered id (assigned under the queue lock at node creation).
+struct AuditShard {
+  std::vector<AuditNode> nodes;
+};
+
+/// Merge per-worker shards into `log->nodes`, restoring global creation
+/// order by sorting on node id — the merge is deterministic for a given set
+/// of shards regardless of which worker produced which node. Incumbent
+/// updates are re-filtered to be strictly improving in id order: a worker
+/// records an update when it improves the SHARED incumbent at that wall-clock
+/// moment, but a later-created node may be processed (and improved upon)
+/// before an earlier-created one, so the raw union is monotone in time, not
+/// in id. Dropping the non-improving flags is sound — the replayer treats a
+/// flagless integral/completion node as "candidate not better than the
+/// incumbent" — and leaves the final replayed incumbent equal to the best
+/// update, which is the claimed objective.
+///
+/// Returns false (and leaves `log->nodes` empty) if the shard ids are not a
+/// contiguous 0..K-1 range or contain duplicates — that indicates a recording
+/// bug, not a property of any legal interleaving.
+bool merge_audit_shards(const std::vector<AuditShard>& shards, AuditLog* log);
+
 }  // namespace nd::milp

@@ -8,9 +8,11 @@
 #include "common/check.hpp"
 #include "common/invariants.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "lp/certificate.hpp"
 #include "lp/simplex.hpp"
 #include "milp/audit.hpp"
+#include "milp/bnb_detail.hpp"
 
 namespace nd::milp {
 
@@ -41,9 +43,11 @@ struct Frame {
   int audit_id = -1;  ///< audit id of the split node (when auditing)
 };
 
+}  // namespace
+
 /// Most fractional integer variable within the highest fractional priority
 /// class, or -1 if the point is integral.
-int pick_branch_var(const Model& model, const lp::Simplex& engine, double int_tol) {
+int detail::pick_branch_var(const Model& model, const lp::Simplex& engine, double int_tol) {
   int best = -1;
   int best_prio = 0;
   double best_frac = 0.0;
@@ -62,9 +66,10 @@ int pick_branch_var(const Model& model, const lp::Simplex& engine, double int_to
   return best;
 }
 
-}  // namespace
-
 MipResult solve(const Model& model, const MipOptions& opt) {
+  const int threads = opt.num_threads > 0 ? opt.num_threads : ThreadPool::default_threads();
+  if (threads > 1) return detail::solve_parallel(model, opt, threads);
+  using detail::pick_branch_var;
   Stopwatch clock;
   MipResult res;
 

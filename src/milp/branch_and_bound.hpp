@@ -33,6 +33,14 @@ struct MipOptions {
   double abs_gap = 1e-9;
   double rel_gap = 1e-6;
   bool verbose = false;
+  /// Worker threads for the tree search. 1 (default) runs the sequential
+  /// depth-first solver; >1 runs the work-sharing parallel solver
+  /// (parallel_bnb.cpp): workers pull open subtrees from a shared best-bound
+  /// queue, share the incumbent, and write per-worker audit shards that are
+  /// merged by node id at the end. 0 means ThreadPool::default_threads().
+  /// The proved optimum is identical for every thread count; the tree shape
+  /// (and therefore the audit log) is not, but every log certifies.
+  int num_threads = 1;
   /// Optional integer-feasible starting point (e.g. from the heuristic);
   /// silently ignored if it fails feasibility validation.
   const std::vector<double>* warm_start = nullptr;

@@ -1,0 +1,136 @@
+// Tests for the fixed-size worker pool (common/thread_pool) — the only place
+// the library spawns threads. Covers completion/drain semantics, the
+// parallel_for exception contract (lowest-index exception wins, remaining
+// iterations still run), and the NOCDEPLOY_THREADS sizing override.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using nd::ThreadPool;
+
+/// setenv/unsetenv guard so a failing assertion cannot leak the override
+/// into later tests.
+class EnvVarGuard {
+ public:
+  explicit EnvVarGuard(const char* name) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+  }
+  ~EnvVarGuard() {
+    if (saved_.empty()) {
+      ::unsetenv(name_);
+    } else {
+      ::setenv(name_, saved_.c_str(), 1);
+    }
+  }
+  void set(const char* value) { ::setenv(name_, value, 1); }
+  void unset() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+  std::string saved_;
+};
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle(): the destructor must run everything before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  nd::parallel_for(pool, 64, [&hits](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesZeroIterations) {
+  ThreadPool pool(2);
+  nd::parallel_for(pool, 0, [](int) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(32);
+  try {
+    nd::parallel_for(pool, 32, [&hits](int i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+      if (i == 7 || i == 23) throw std::runtime_error("boom at " + std::to_string(i));
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 7");
+  }
+  // Every iteration still ran: the pool is clean after the rethrow.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EnvOverrideControlsDefaultSize) {
+  EnvVarGuard guard("NOCDEPLOY_THREADS");
+  guard.set("3");
+  EXPECT_EQ(ThreadPool::default_threads(), 3);
+  {
+    ThreadPool pool;  // 0 → default_threads() → the override
+    EXPECT_EQ(pool.size(), 3);
+  }
+  {
+    ThreadPool pool(2);  // explicit count beats the environment
+    EXPECT_EQ(pool.size(), 2);
+  }
+}
+
+TEST(ThreadPool, EnvOverrideIgnoresGarbage) {
+  EnvVarGuard guard("NOCDEPLOY_THREADS");
+  guard.set("not-a-number");
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+  guard.set("0");
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+  guard.set("-4");
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+  guard.unset();
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+}
+
+}  // namespace

@@ -10,7 +10,13 @@
 //                      [--emit-certificate c.json] [--emit-audit a.json] [-o sol.json]
 //   nocdeploy certify  --problem prob.json --solution sol.json
 //                      [--certificate c.json] [--audit a.json] [--json]
-//   nocdeploy crosscheck [--seeds N] [--first-seed S] [--tasks N] [--json]
+//   nocdeploy crosscheck [--seeds N] [--first-seed S] [--tasks N] [--threads T] [--json]
+//   nocdeploy sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]
+//                      [--time-limit SEC] [-o BENCH_sweep.json] [--json]
+//
+// `--threads` (solve/certify with --method optimal, crosscheck) selects the
+// MILP solver's thread count: 1 = sequential, >1 = work-sharing parallel
+// branch-and-bound, 0 = machine default (honours NOCDEPLOY_THREADS).
 //
 // Exit status: 0 on success/valid, 1 on infeasible/invalid/lint-errors,
 // 2 on usage error.
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "analysis/certify_bnb.hpp"
+#include "sweep_runner.hpp"
 #include "analysis/certify_lp.hpp"
 #include "analysis/crosscheck.hpp"
 #include "analysis/lint_model.hpp"
@@ -73,7 +80,10 @@ int usage() {
                "  certify  --problem P.json --solution S.json\n"
                "           [--certificate F] [--audit F] [--json]\n"
                "  crosscheck [--seeds N] [--first-seed S] [--tasks N] [--rows R]\n"
-               "           [--cols C] [--time-limit SEC] [--no-sim] [--json]\n");
+               "           [--cols C] [--time-limit SEC] [--threads T] [--no-sim] [--json]\n"
+               "  sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]\n"
+               "           [--rows R] [--cols C] [--time-limit SEC]\n"
+               "           [-o BENCH_sweep.json] [--json]\n");
   return 2;
 }
 
@@ -152,6 +162,7 @@ int cmd_solve(const Args& a) {
     const auto warm = heuristic::solve_heuristic(*p);
     milp::MipOptions mopt;
     mopt.time_limit_s = a.num("time-limit", 60.0);
+    mopt.num_threads = static_cast<int>(a.num("threads", 1));
     const auto res =
         model::solve_optimal(*p, {}, mopt, warm.feasible ? &warm.solution : nullptr);
     std::printf("MILP status: %s, nodes %lld, lp-iters %d, bound %.6f, gap %.2f%%\n",
@@ -281,6 +292,7 @@ int cmd_certify(const Args& a) {
     std::vector<double> warm_point;
     milp::MipOptions mopt;
     mopt.time_limit_s = a.num("time-limit", 60.0);
+    mopt.num_threads = static_cast<int>(a.num("threads", 1));
     if (warm.feasible) {
       warm_point = f.encode(warm.solution);
       mopt.warm_start = &warm_point;
@@ -323,6 +335,7 @@ int cmd_crosscheck(const Args& a) {
   opt.rows = static_cast<int>(a.num("rows", opt.rows));
   opt.cols = static_cast<int>(a.num("cols", opt.cols));
   opt.milp_time_limit_s = a.num("time-limit", opt.milp_time_limit_s);
+  opt.num_threads = static_cast<int>(a.num("threads", opt.num_threads));
   opt.run_simulation = a.flags.count("no-sim") == 0;
   opt.verbose = a.flags.count("json") == 0;
   const auto first = static_cast<std::uint64_t>(a.num("first-seed", 1));
@@ -335,6 +348,32 @@ int cmd_crosscheck(const Args& a) {
     std::printf("crosscheck: %d seed(s), %s\n", count, rep.summary().c_str());
   }
   return rep.num_errors() > 0 ? 1 : 0;
+}
+
+int cmd_sweep(const Args& a) {
+  bench::SweepOptions opt;
+  opt.seeds = static_cast<int>(a.num("seeds", opt.seeds));
+  opt.first_seed = static_cast<std::uint64_t>(a.num("first-seed", 1));
+  opt.threads = static_cast<int>(a.num("threads", 0));
+  opt.time_limit_s = a.num("time-limit", opt.time_limit_s);
+  opt.scale.num_tasks = static_cast<int>(a.num("tasks", opt.scale.num_tasks));
+  opt.scale.rows = static_cast<int>(a.num("rows", opt.scale.rows));
+  opt.scale.cols = static_cast<int>(a.num("cols", opt.scale.cols));
+  opt.verbose = a.flags.count("json") == 0;
+  const auto res = bench::run_sweep(opt);
+  const auto doc = res.to_json(opt);
+  const std::string out = a.get("o", "BENCH_sweep.json");
+  if (!out.empty()) deploy::write_file(out, doc.dump(2) + "\n");
+  if (a.flags.count("json") != 0) {
+    std::printf("%s\n", doc.dump(2).c_str());
+  } else {
+    std::printf("sweep: %d seed(s), %d thread(s): serial %.3f s, pooled %.3f s, "
+                "speedup %.2fx, %d mismatch(es)\n",
+                opt.seeds, res.threads_used, res.serial_wall_s, res.parallel_wall_s,
+                res.speedup, res.mismatches);
+    if (!out.empty()) std::printf("wrote %s\n", out.c_str());
+  }
+  return res.mismatches > 0 ? 1 : 0;
 }
 
 int cmd_simulate(const Args& a) {
@@ -382,6 +421,7 @@ int main(int argc, char** argv) {
     if (a.command == "lint") return cmd_lint(a);
     if (a.command == "certify") return cmd_certify(a);
     if (a.command == "crosscheck") return cmd_crosscheck(a);
+    if (a.command == "sweep") return cmd_sweep(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
