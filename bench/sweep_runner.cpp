@@ -8,6 +8,7 @@
 #include "common/thread_pool.hpp"
 #include "heuristic/phases.hpp"
 #include "model/formulation.hpp"
+#include "obs/obs.hpp"
 
 namespace nd::bench {
 
@@ -54,6 +55,10 @@ json::Value stats_json(const Stats& st) {
 
 SweepResult run_sweep(const SweepOptions& opt) {
   SweepResult out;
+  // Collect obs counters for the per-seed snapshots. start() returns false
+  // when a session is already open (e.g. the CLI ran with --stats) or the
+  // layer is compiled out; we only close what we opened.
+  const bool own_session = obs::start(/*with_trace=*/false);
   out.threads_used = opt.threads > 0 ? opt.threads : ThreadPool::default_threads();
   const int k = opt.seeds;
   out.seeds.resize(static_cast<std::size_t>(k));
@@ -67,7 +72,13 @@ SweepResult run_sweep(const SweepOptions& opt) {
   Stopwatch serial_sw;
   for (int i = 0; i < k; ++i) {
     SweepSeed& s = out.seeds[static_cast<std::size_t>(i)];
+    const std::map<std::string, long long> before = obs::counter_totals();
     const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s);
+    for (const auto& [name, total] : obs::counter_totals()) {
+      const auto it = before.find(name);
+      const long long delta = total - (it == before.end() ? 0 : it->second);
+      if (delta != 0) s.counters[name] = delta;
+    }
     s.serial_s = r.seconds;
     s.serial_obj = r.obj;
     s.serial_nodes = r.nodes;
@@ -111,6 +122,8 @@ SweepResult run_sweep(const SweepOptions& opt) {
     }
   }
 
+  if (own_session) obs::stop();
+
   out.speedup = out.parallel_wall_s > 0.0 ? out.serial_wall_s / out.parallel_wall_s : 0.0;
   out.serial_nodes_per_s =
       out.serial_wall_s > 0.0 ? static_cast<double>(serial_nodes) / out.serial_wall_s : 0.0;
@@ -129,6 +142,10 @@ json::Value SweepResult::to_json(const SweepOptions& opt) const {
     parallel_stats.add(s.parallel_s);
     serial_node_total += s.serial_nodes;
     parallel_node_total += s.parallel_nodes;
+    json::Object counters;
+    for (const auto& [name, delta] : s.counters) {
+      counters.emplace_back(name, static_cast<std::int64_t>(delta));
+    }
     per_seed.push_back(json::Object{
         {"seed", static_cast<std::int64_t>(s.seed)},
         {"serial_s", s.serial_s},
@@ -140,10 +157,11 @@ json::Value SweepResult::to_json(const SweepOptions& opt) const {
         {"serial_status", milp::to_string(s.serial_status)},
         {"parallel_status", milp::to_string(s.parallel_status)},
         {"match", s.match},
+        {"counters", std::move(counters)},
     });
   }
   return json::Object{
-      {"schema", "nocdeploy-sweep/1"},
+      {"schema", "nocdeploy-sweep/2"},
       {"config",
        json::Object{{"seeds", opt.seeds},
                     {"first_seed", static_cast<std::int64_t>(opt.first_seed)},

@@ -9,10 +9,12 @@
 // the pool delivers on this machine.
 //
 // `nocdeploy-cli sweep` wraps this and writes the result as BENCH_sweep.json
-// (schema "nocdeploy-sweep/1"; see EXPERIMENTS.md for the field reference).
+// (schema "nocdeploy-sweep/2"; see EXPERIMENTS.md for the field reference).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -39,6 +41,11 @@ struct SweepSeed {
   milp::MipStatus serial_status = milp::MipStatus::kUnknown;
   milp::MipStatus parallel_status = milp::MipStatus::kUnknown;
   bool match = false;  ///< same status and (within 1e-6 relative) same objective
+  /// Obs counter deltas bracketing this seed's SERIAL solve (the serial phase
+  /// runs one instance at a time, so the delta is attributable; the pooled
+  /// phase interleaves seeds and gets no per-seed snapshot). Empty when
+  /// NOCDEPLOY_OBS is compiled out.
+  std::map<std::string, long long> counters;
 };
 
 struct SweepResult {
@@ -50,7 +57,7 @@ struct SweepResult {
   int mismatches = 0;  ///< seeds whose two phases disagreed (must be 0)
   std::vector<SweepSeed> seeds;
 
-  /// The BENCH_sweep.json document (schema "nocdeploy-sweep/1").
+  /// The BENCH_sweep.json document (schema "nocdeploy-sweep/2").
   [[nodiscard]] json::Value to_json(const SweepOptions& opt) const;
 };
 

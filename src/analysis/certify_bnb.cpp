@@ -206,6 +206,35 @@ Report certify_bnb(const milp::Model& model, const milp::AuditLog& log,
     }
   }
 
+  // ---- Time-to-incumbent trajectory (informational). Node timestamps are
+  // monotonic ns since the solve started; logs written before the field
+  // existed carry all-zero stamps and are reported as such.
+  {
+    bool any_stamp = false;
+    for (const milp::AuditNode& n : nodes) any_stamp = any_stamp || n.t_ns > 0;
+    std::int64_t first_ns = -1, best_ns = -1;
+    double first_obj = 0.0, best_obj = 0.0;
+    for (const milp::AuditNode& n : nodes) {
+      if (!n.incumbent_update) continue;
+      if (first_ns < 0) {
+        first_ns = n.t_ns;
+        first_obj = n.incumbent_obj;
+      }
+      best_ns = n.t_ns;
+      best_obj = n.incumbent_obj;
+    }
+    if (first_ns >= 0 && any_stamp) {
+      rep.add(Severity::kInfo, codes::kBnbTimeline, "tree",
+              "first incumbent " + fmt(first_obj) + " at " +
+                  fmt(static_cast<double>(first_ns) * 1e-6) + " ms, best " + fmt(best_obj) +
+                  " at " + fmt(static_cast<double>(best_ns) * 1e-6) + " ms");
+    } else if (first_ns >= 0) {
+      rep.add(Severity::kInfo, codes::kBnbTimeline, "tree",
+              "log has no node timestamps (written before t_ns existed); "
+              "time-to-incumbent unknown");
+    }
+  }
+
   // ---- Cover: the two children of every branch partition the parent's
   // domain of the branch variable — no integer escapes the search.
   for (int i = 0; i < num_nodes; ++i) {

@@ -89,6 +89,7 @@ inline constexpr const char* kBnbIncumbentRegression = "bnb-incumbent-regression
 inline constexpr const char* kBnbLimitNotOptimal = "bnb-limit-not-optimal";       // error
 inline constexpr const char* kBnbRootCert = "bnb-root-cert";                      // error
 inline constexpr const char* kBnbRootFixing = "bnb-root-fixing";                  // error
+inline constexpr const char* kBnbTimeline = "bnb-timeline";                       // info
 
 // crosscheck (differential MILP ↔ heuristic ↔ simulator harness)
 inline constexpr const char* kXcheckHeuristicInfeasible = "xcheck-heuristic-infeasible";  // warning

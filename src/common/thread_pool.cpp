@@ -1,12 +1,24 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
 #include <utility>
 
 namespace nd {
+
+namespace {
+thread_local int t_worker_slot = -1;
+}  // namespace
+
+int ThreadPool::current_worker_index() { return t_worker_slot; }
+
+int& ThreadPool::open_spans() {
+  thread_local int open = 0;
+  return open;
+}
 
 int ThreadPool::default_threads() {
   if (const char* env = std::getenv("NOCDEPLOY_THREADS"); env != nullptr) {
@@ -19,7 +31,7 @@ int ThreadPool::default_threads() {
 ThreadPool::ThreadPool(int num_threads) {
   const int n = num_threads > 0 ? num_threads : default_threads();
   workers_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -44,7 +56,8 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int slot) {
+  t_worker_slot = slot;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -53,7 +66,18 @@ void ThreadPool::worker_loop() {
     queue_.pop_front();
     ++active_;
     lock.unlock();
+    const int spans_before = open_spans();
     task();
+    if (open_spans() != spans_before) {
+      // A span leaked across a task boundary: its RAII scope now outlives the
+      // task, so wait_idle() would declare the pool drained while timing
+      // state still dangles. Fail loudly rather than corrupt telemetry.
+      std::fprintf(stderr,
+                   "ThreadPool worker %d: task finished with %d telemetry "
+                   "span(s) still open; aborting\n",
+                   slot, open_spans() - spans_before);
+      std::abort();
+    }
     lock.lock();
     --active_;
     if (queue_.empty() && active_ == 0) idle_cv_.notify_all();

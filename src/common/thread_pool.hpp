@@ -46,8 +46,22 @@ class ThreadPool {
   /// hardware_concurrency(), never below 1.
   [[nodiscard]] static int default_threads();
 
+  /// Pool slot of the calling thread: 0..size()-1 inside a worker, -1 on any
+  /// thread that is not a pool worker (including the main thread). Stable for
+  /// the worker's whole lifetime, so per-worker state — telemetry registries,
+  /// trace lanes — can key on it instead of std::this_thread::get_id().
+  [[nodiscard]] static int current_worker_index();
+
+  /// Thread-local count of telemetry spans currently open on the calling
+  /// thread (maintained by obs::Span). Workers check it around every task:
+  /// a task that returns with a span still open would leave a dangling RAII
+  /// scope crossing task boundaries — the pool aborts with a clear error
+  /// instead of letting wait_idle() report a "drained" pool whose timing
+  /// data silently bleeds between tasks.
+  [[nodiscard]] static int& open_spans();
+
  private:
-  void worker_loop();
+  void worker_loop(int slot);
 
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers wait here for tasks

@@ -9,6 +9,7 @@
 #include "common/stopwatch.hpp"
 #include "deploy/evaluate.hpp"
 #include "heuristic/phases.hpp"
+#include "obs/obs.hpp"
 
 namespace nd::heuristic {
 
@@ -41,6 +42,7 @@ class Annealer {
 
   AnnealResult run() {
     Stopwatch clock;
+    const obs::Span run_span("anneal.run", opt_.telemetry);
     AnnealResult res;
 
     State s = initial_state();
@@ -86,6 +88,11 @@ class Annealer {
       res.feasible = feas;
     }
     res.seconds = clock.seconds();
+    if (opt_.telemetry) {
+      ND_OBS_COUNT("anneal.proposed", opt_.iterations);
+      ND_OBS_COUNT("anneal.accepted", res.accepted_moves);
+      ND_OBS_COUNT("anneal.repair_failures", repair_failures_);
+    }
     return res;
   }
 
@@ -181,6 +188,7 @@ class Annealer {
         if (ld >= levels) {
           ld = levels - 1;  // best effort; penalized as infeasible below
           rel_ok = false;
+          ++repair_failures_;
         }
         sol.level[du] = ld;
         sol.proc[du] = s.proc[du];
@@ -207,6 +215,7 @@ class Annealer {
   AnnealOptions opt_;
   Prng prng_;
   std::vector<std::vector<int>> feasible_levels_;
+  long long repair_failures_ = 0;  ///< duplicate level could not close (5)
 };
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
 #include "deploy/evaluate.hpp"
+#include "obs/obs.hpp"
 
 namespace nd::heuristic {
 
@@ -105,6 +106,7 @@ bool phase1_frequency_and_duplication(const deploy::DeploymentProblem& p,
       continue;
     }
     s.exists[static_cast<std::size_t>(d)] = 1;
+    ND_OBS_COUNT("heur.phase1.duplications", 1);
     const int ld = pick_level(d, [&](int cand) {
       const double rd = p.fault().task_reliability(p.dup().wcec(d), cand);
       return reliability::FaultModel::duplicated(r, rd) >= p.r_th();  // (5)
@@ -246,6 +248,10 @@ bool phase3_path_selection(const deploy::DeploymentProblem& p, deploy::Deploymen
           best_rho = rho;
         }
       }
+      // The fallback keeps the best-makespan path even though no path met the
+      // horizon for this pair in isolation; count it so profiles show how
+      // often Algorithm 3 had to repair feasibility this way.
+      if (best_rho < 0) ND_OBS_COUNT("heur.phase3.path_fallbacks", 1);
       s.path_choice[pair] = (best_rho >= 0) ? best_rho : fallback_rho;
     }
   }
@@ -261,28 +267,40 @@ bool phase3_path_selection(const deploy::DeploymentProblem& p, deploy::Deploymen
 
 HeuristicResult solve_heuristic(const deploy::DeploymentProblem& p, const HeuristicOptions& opt) {
   Stopwatch clock;
+  const obs::Span solve_span("heur.solve", opt.telemetry);
   HeuristicResult res;
   res.solution = deploy::DeploymentSolution::empty(p);
   std::string why;
-  if (!phase1_frequency_and_duplication(p, res.solution, &why)) {
+  bool ok;
+  {
+    const obs::Span span("heur.phase1", opt.telemetry);
+    ok = phase1_frequency_and_duplication(p, res.solution, &why);
+  }
+  if (!ok) {
     res.why = "phase1: " + why;
     res.seconds = clock.seconds();
     return res;
   }
-  if (!phase2_allocation_and_scheduling(p, res.solution, opt.phase2, &why)) {
+  {
+    const obs::Span span("heur.phase2", opt.telemetry);
+    ok = phase2_allocation_and_scheduling(p, res.solution, opt.phase2, &why);
+  }
+  if (!ok) {
     res.why = "phase2: " + why;
     res.seconds = clock.seconds();
     return res;
   }
-  bool ok;
-  if (opt.select_paths) {
-    ok = phase3_path_selection(p, res.solution, &why);
-  } else {
-    // Single-path ablation: freeze ρ = 0 everywhere, keep the real schedule.
-    std::fill(res.solution.path_choice.begin(), res.solution.path_choice.end(), 0);
-    const double makespan = reschedule(p, res.solution, actual_comm_times(p, res.solution));
-    ok = makespan <= p.horizon() + kTimeTol;
-    if (!ok) why = "fixed-path makespan exceeds horizon";
+  {
+    const obs::Span span("heur.phase3", opt.telemetry);
+    if (opt.select_paths) {
+      ok = phase3_path_selection(p, res.solution, &why);
+    } else {
+      // Single-path ablation: freeze ρ = 0 everywhere, keep the real schedule.
+      std::fill(res.solution.path_choice.begin(), res.solution.path_choice.end(), 0);
+      const double makespan = reschedule(p, res.solution, actual_comm_times(p, res.solution));
+      ok = makespan <= p.horizon() + kTimeTol;
+      if (!ok) why = "fixed-path makespan exceeds horizon";
+    }
   }
   if (!ok) {
     res.why = "phase3: " + why;

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/stats.hpp"
 #include "lp/certificate.hpp"
+#include "obs/obs.hpp"
 
 namespace nd::lp {
 
@@ -204,6 +205,7 @@ double Simplex::residual() const {
 }
 
 bool Simplex::rebuild_tableau() {
+  ++counters_.refactorizations;
   // Gauss-Jordan: reduce the basis columns of [orig_ | rhs] to identity.
   // Only working columns are refreshed, plus any artificial column that is
   // still basic (it participates as a pivot column); the remaining artificial
@@ -327,6 +329,7 @@ void Simplex::pivot(int r, int q, double leave_target) {
     degen_run_ = 0;
   }
   ++total_iters_;
+  ++counters_.pivots;
 }
 
 bool Simplex::is_nonbasic_eligible_primal(int j, double* dir) const {
@@ -354,9 +357,14 @@ SolveStatus Simplex::primal_loop() {
   double last_obj = phase_objective();
   bland_run_ = 0;
 #endif
+  bool was_bland = false;
   while (iters++ < opt_.max_iters) {
     if (past_deadline(opt_.deadline, iters)) return SolveStatus::kIterLimit;
     const bool bland = degen_run_ > opt_.bland_after || iters > bland_after_iters;
+    if (bland && !was_bland) {
+      ++counters_.bland_activations;
+      was_bland = true;
+    }
     // Pricing.
     int q = -1;
     double dirq = 0.0;
@@ -430,6 +438,7 @@ SolveStatus Simplex::primal_loop() {
         degen_run_ = 0;
       }
       ++total_iters_;
+      ++counters_.bound_flips;
     } else {
       pivot(leave_row, q, leave_target);
     }
@@ -465,9 +474,14 @@ SolveStatus Simplex::primal_loop() {
 SolveStatus Simplex::dual_loop() {
   int iters = 0;
   const int bland_after_iters = std::max(500, 4 * m_);
+  bool was_bland = false;
   while (iters++ < opt_.max_iters) {
     if (past_deadline(opt_.deadline, iters)) return SolveStatus::kIterLimit;
     const bool bland = degen_run_ > opt_.bland_after || iters > bland_after_iters;
+    if (bland && !was_bland) {
+      ++counters_.bland_activations;
+      was_bland = true;
+    }
     // Leaving row: worst primal bound violation among basics (Bland mode:
     // first violated row, which breaks degenerate cycles).
     int r = -1;
@@ -546,14 +560,17 @@ SolveStatus Simplex::dual_loop() {
 }
 
 SolveStatus Simplex::solve() {
+  ++counters_.solves;
   build_initial_basis();
   infeas_row_ = -1;
 #if ND_INVARIANTS_ENABLED
   check_basis_consistency();
 #endif
   if (phase1_) {
+    const int phase1_start = total_iters_;
     compute_reduced_costs();
     const SolveStatus s1 = primal_loop();
+    counters_.phase1_iters += total_iters_ - phase1_start;
     if (s1 == SolveStatus::kIterLimit) return last_status_ = s1;
     ND_ASSERT(s1 != SolveStatus::kUnbounded, "phase-1 objective is bounded below by 0");
     double art_sum = 0.0;
@@ -575,12 +592,15 @@ SolveStatus Simplex::solve() {
   }
   cost_ = real_cost_;
   compute_reduced_costs();
+  const int phase2_start = total_iters_;
   const SolveStatus s2 = primal_loop();
+  counters_.phase2_iters += total_iters_ - phase2_start;
   return last_status_ = s2;
 }
 
 SolveStatus Simplex::dual_resolve() {
   if (!basis_valid_) return solve();
+  ++counters_.dual_resolves;
   infeas_row_ = -1;
   SolveStatus s = dual_loop();
   if (s == SolveStatus::kIterLimit) {
@@ -697,7 +717,26 @@ LpResult solve_lp(const Problem& p, Simplex::Options opt) {
     res.obj = engine.objective();
     res.x = engine.solution();
   }
+  emit_lp_counters(engine);
   return res;
+}
+
+void emit_lp_counters(const Simplex& engine) {
+#if ND_OBS_ENABLED
+  if (!obs::collecting()) return;
+  const Simplex::Counters& c = engine.counters();
+  ND_OBS_COUNT("lp.solves", c.solves);
+  ND_OBS_COUNT("lp.dual_resolves", c.dual_resolves);
+  ND_OBS_COUNT("lp.iterations", engine.iterations());
+  ND_OBS_COUNT("lp.pivots", c.pivots);
+  ND_OBS_COUNT("lp.bound_flips", c.bound_flips);
+  ND_OBS_COUNT("lp.bland_activations", c.bland_activations);
+  ND_OBS_COUNT("lp.refactorizations", c.refactorizations);
+  ND_OBS_COUNT("lp.phase1_iterations", c.phase1_iters);
+  ND_OBS_COUNT("lp.phase2_iterations", c.phase2_iters);
+#else
+  (void)engine;
+#endif
 }
 
 CertifiedLpResult solve_lp_certified(const Problem& p, Simplex::Options opt) {
@@ -710,6 +749,7 @@ CertifiedLpResult solve_lp_certified(const Problem& p, Simplex::Options opt) {
     out.result.x = engine.solution();
   }
   out.cert = engine.extract_certificate();
+  emit_lp_counters(engine);
   return out;
 }
 

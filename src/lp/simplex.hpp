@@ -87,6 +87,22 @@ class Simplex {
 
   [[nodiscard]] int iterations() const { return total_iters_; }
 
+  /// Cumulative work tallies since construction. Maintained unconditionally —
+  /// they are plain integer increments on paths that already touch the same
+  /// cache lines — so callers can report them with or without the obs layer;
+  /// NOCDEPLOY_OBS only gates the export (see emit_lp_counters).
+  struct Counters {
+    long long solves = 0;            ///< cold solve() calls
+    long long dual_resolves = 0;     ///< warm dual_resolve() entries
+    long long pivots = 0;            ///< basis-changing pivots
+    long long bound_flips = 0;       ///< nonbasic bound-to-bound moves
+    long long bland_activations = 0; ///< Dantzig → Bland pricing switches
+    long long refactorizations = 0;  ///< rebuild_tableau() runs
+    long long phase1_iters = 0;      ///< iterations inside phase-1 loops
+    long long phase2_iters = 0;      ///< iterations inside phase-2 loops
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
   /// Status of the most recent solve()/dual_resolve() call.
   [[nodiscard]] SolveStatus last_status() const { return last_status_; }
 
@@ -156,6 +172,7 @@ class Simplex {
   bool basis_valid_ = false;
   int degen_run_ = 0;
   int total_iters_ = 0;
+  Counters counters_;
   SolveStatus last_status_ = SolveStatus::kIterLimit;
   int infeas_row_ = -1;  ///< dual-simplex breakdown row (-1: phase-1 proof)
   bool infeas_need_increase_ = false;
@@ -172,5 +189,11 @@ struct LpResult {
   int iterations = 0;
 };
 LpResult solve_lp(const Problem& p, Simplex::Options opt = {});
+
+/// Flush an engine's cumulative Counters into the obs telemetry layer under
+/// the "lp." prefix. Call exactly once per engine, at its end of life —
+/// the tallies are cumulative, so a second call would double-count. No-op
+/// when no telemetry session is collecting (or the layer is compiled out).
+void emit_lp_counters(const Simplex& engine);
 
 }  // namespace nd::lp

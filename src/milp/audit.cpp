@@ -89,6 +89,7 @@ json::Value node_to_json(const AuditNode& n) {
   o.emplace_back("completion_obj", num_to_json(n.completion_obj));
   o.emplace_back("incumbent_update", n.incumbent_update);
   o.emplace_back("incumbent_obj", num_to_json(n.incumbent_obj));
+  o.emplace_back("t_ns", static_cast<double>(n.t_ns));
   return o;
 }
 
@@ -107,6 +108,9 @@ AuditNode node_from_json(const json::Value& v) {
   n.completion_obj = num_from_json(v.at("completion_obj"));
   n.incumbent_update = v.at("incumbent_update").as_bool();
   n.incumbent_obj = num_from_json(v.at("incumbent_obj"));
+  // Logs written before timestamps existed have no "t_ns": treat as 0.
+  const json::Value* t = v.find("t_ns");
+  n.t_ns = t == nullptr ? 0 : static_cast<std::int64_t>(t->as_number());
   return n;
 }
 

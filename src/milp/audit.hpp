@@ -48,6 +48,12 @@ struct AuditNode {
   double completion_obj = 0.0;
   bool incumbent_update = false;
   double incumbent_obj = 0.0;  ///< incumbent value right after the update
+  /// Monotonic nanoseconds since the solve started, stamped when the node is
+  /// processed (disposed). 0 on logs written before this field existed — the
+  /// JSON round-trip treats an absent field as 0 — so replays can always
+  /// compute a time-to-incumbent trajectory, degenerating to "unknown" on
+  /// legacy logs.
+  std::int64_t t_ns = 0;
 };
 
 /// One root reduced-cost fixing: variable frozen to a single bound for the

@@ -13,6 +13,7 @@
 #include "lp/simplex.hpp"
 #include "milp/audit.hpp"
 #include "milp/bnb_detail.hpp"
+#include "obs/obs.hpp"
 
 namespace nd::milp {
 
@@ -43,6 +44,31 @@ struct Frame {
   int audit_id = -1;  ///< audit id of the split node (when auditing)
 };
 
+/// Node-disposition tallies, kept as plain locals during the search and
+/// flushed into obs counters once at the end (never per node).
+struct BnbTally {
+  long long branched = 0;
+  long long pruned_bound = 0;
+  long long pruned_infeasible = 0;
+  long long integral = 0;
+  long long completion_closed = 0;
+  long long skipped_parent_bound = 0;
+  long long incumbent_updates = 0;
+};
+
+void emit_bnb_tally(const BnbTally& t, std::int64_t nodes) {
+  (void)t;  // every use below compiles out with NOCDEPLOY_OBS=0
+  (void)nodes;
+  ND_OBS_COUNT("bnb.nodes", nodes);
+  ND_OBS_COUNT("bnb.branched", t.branched);
+  ND_OBS_COUNT("bnb.pruned_bound", t.pruned_bound);
+  ND_OBS_COUNT("bnb.pruned_infeasible", t.pruned_infeasible);
+  ND_OBS_COUNT("bnb.integral", t.integral);
+  ND_OBS_COUNT("bnb.completion_closed", t.completion_closed);
+  ND_OBS_COUNT("bnb.skipped_parent_bound", t.skipped_parent_bound);
+  ND_OBS_COUNT("bnb.incumbent_updates", t.incumbent_updates);
+}
+
 }  // namespace
 
 /// Most fractional integer variable within the highest fractional priority
@@ -71,6 +97,9 @@ MipResult solve(const Model& model, const MipOptions& opt) {
   if (threads > 1) return detail::solve_parallel(model, opt, threads);
   using detail::pick_branch_var;
   Stopwatch clock;
+  const std::int64_t solve_start_ns = obs::now_ns();
+  obs::Span solve_span("bnb.solve", opt.telemetry);
+  BnbTally tally;
   MipResult res;
 
   AuditLog* aud = opt.audit;
@@ -88,6 +117,7 @@ MipResult solve(const Model& model, const MipOptions& opt) {
     node.var = var;
     node.lo = lo;
     node.hi = hi;
+    node.t_ns = obs::now_ns() - solve_start_ns;
     aud->nodes.push_back(node);
     return node.id;
   };
@@ -108,6 +138,14 @@ MipResult solve(const Model& model, const MipOptions& opt) {
   engine.set_deadline(std::chrono::steady_clock::now() +
                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                           std::chrono::duration<double>(opt.time_limit_s)));
+
+  const auto emit_telemetry = [&]() {
+    if (!opt.telemetry) return;
+    emit_bnb_tally(tally, res.nodes);
+    ND_OBS_COUNT("bnb.cold_solves", engine.counters().solves);
+    ND_OBS_COUNT("bnb.warm_resolves", engine.counters().dual_resolves);
+    lp::emit_lp_counters(engine);
+  };
 
   // Seed the incumbent from the warm start if it validates.
   bool have_incumbent = false;
@@ -134,7 +172,10 @@ MipResult solve(const Model& model, const MipOptions& opt) {
     if (aud != nullptr) {
       aud->root_bound = res.best_bound;
       aud->nodes[0].disp = NodeDisp::kPrunedInfeasible;
+      aud->nodes[0].t_ns = obs::now_ns() - solve_start_ns;
     }
+    ++tally.pruned_infeasible;
+    emit_telemetry();
     finalize_audit();
     return res;
   }
@@ -208,6 +249,11 @@ MipResult solve(const Model& model, const MipOptions& opt) {
 
   while (!hit_limit) {
     ++res.nodes;
+    if (aud != nullptr) {
+      // Processing stamp: overwrites the creation stamp so the node's time
+      // reflects when it was disposed (what time-to-incumbent replays need).
+      aud->nodes[static_cast<std::size_t>(cur_node)].t_ns = obs::now_ns() - solve_start_ns;
+    }
     if (clock.seconds() > opt.time_limit_s || res.nodes > opt.node_limit) {
       if (aud != nullptr) aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kLimit;
       hit_limit = true;
@@ -224,6 +270,11 @@ MipResult solve(const Model& model, const MipOptions& opt) {
     if (node_solved) {
       node_obj = engine.objective();
       if (node_obj >= cutoff()) prune = true;
+    }
+    if (!node_solved) {
+      ++tally.pruned_infeasible;
+    } else if (prune) {
+      ++tally.pruned_bound;
     }
     if (aud != nullptr) {
       AuditNode& node = aud->nodes[static_cast<std::size_t>(cur_node)];
@@ -252,6 +303,8 @@ MipResult solve(const Model& model, const MipOptions& opt) {
           incumbent_obj = cand_obj;
           res.x = std::move(candidate);
           have_incumbent = true;
+          ++tally.incumbent_updates;
+          if (opt.telemetry) ND_OBS_INSTANT("bnb.incumbent", incumbent_obj);
           if (aud != nullptr) {
             AuditNode& node = aud->nodes[static_cast<std::size_t>(cur_node)];
             node.incumbent_update = true;
@@ -263,6 +316,7 @@ MipResult solve(const Model& model, const MipOptions& opt) {
         }
         if (cand_obj <= node_obj + std::max(opt.abs_gap, opt.rel_gap * std::abs(cand_obj))) {
           prune = true;  // subtree cannot beat this candidate
+          ++tally.completion_closed;
           if (aud != nullptr) {
             aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kCompletionClosed;
           }
@@ -287,6 +341,8 @@ MipResult solve(const Model& model, const MipOptions& opt) {
           incumbent_obj = node_obj;
           res.x = std::move(x);
           have_incumbent = true;
+          ++tally.incumbent_updates;
+          if (opt.telemetry) ND_OBS_INSTANT("bnb.incumbent", incumbent_obj);
           if (aud != nullptr) {
             AuditNode& node = aud->nodes[static_cast<std::size_t>(cur_node)];
             node.incumbent_update = true;
@@ -297,6 +353,7 @@ MipResult solve(const Model& model, const MipOptions& opt) {
 #endif
         }
         prune = true;
+        ++tally.integral;
         if (aud != nullptr) {
           aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kIntegral;
         }
@@ -335,6 +392,8 @@ MipResult solve(const Model& model, const MipOptions& opt) {
         f.second_hi = fl;
       }
       f.audit_id = cur_node;
+      ++tally.branched;
+      if (opt.telemetry) ND_OBS_VALUE("bnb.stack_depth", static_cast<double>(stack.size() + 1));
       if (aud != nullptr) {
         AuditNode& node = aud->nodes[static_cast<std::size_t>(cur_node)];
         node.disp = NodeDisp::kBranched;
@@ -366,6 +425,7 @@ MipResult solve(const Model& model, const MipOptions& opt) {
         const int sibling = new_audit_node(f.audit_id, f.var, f.second_lo, f.second_hi);
         // Parent bound may already prune the sibling subtree.
         if (f.node_obj >= cutoff()) {
+          ++tally.skipped_parent_bound;
           if (aud != nullptr) {
             aud->nodes[static_cast<std::size_t>(sibling)].disp = NodeDisp::kSkippedParentBound;
           }
@@ -406,6 +466,7 @@ MipResult solve(const Model& model, const MipOptions& opt) {
     res.status = have_incumbent ? MipStatus::kOptimal : MipStatus::kInfeasible;
   }
   if (have_incumbent) res.obj = incumbent_obj;
+  emit_telemetry();
   finalize_audit();
   return res;
 }

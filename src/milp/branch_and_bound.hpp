@@ -56,6 +56,12 @@ struct MipOptions {
   /// analysis/certify_bnb.hpp). Costs one extra root-certificate extraction
   /// and O(1) bookkeeping per node.
   AuditLog* audit = nullptr;
+  /// Emit counters/spans into the obs telemetry layer (node dispositions,
+  /// queue depth, donations, cold vs warm re-solves, the incumbent timeline,
+  /// per-worker busy time). Only observable while an obs session is
+  /// collecting, and free when NOCDEPLOY_OBS is compiled out; set false to
+  /// keep a solve out of an enclosing session's numbers.
+  bool telemetry = true;
 };
 
 struct MipResult {

@@ -55,12 +55,29 @@
 #include "lp/simplex.hpp"
 #include "milp/audit.hpp"
 #include "milp/bnb_detail.hpp"
+#include "obs/obs.hpp"
 
 namespace nd::milp::detail {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// obs counter a node disposition contributes to; nullptr for dispositions
+/// that are bookkeeping rather than search work (unprocessed, limit-cut).
+/// Shared names with the sequential solver, so profiles aggregate across
+/// both tree walks.
+const char* disp_counter(NodeDisp d) {
+  switch (d) {
+    case NodeDisp::kBranched: return "bnb.branched";
+    case NodeDisp::kPrunedBound: return "bnb.pruned_bound";
+    case NodeDisp::kPrunedInfeasible: return "bnb.pruned_infeasible";
+    case NodeDisp::kIntegral: return "bnb.integral";
+    case NodeDisp::kCompletionClosed: return "bnb.completion_closed";
+    case NodeDisp::kSkippedParentBound: return "bnb.skipped_parent_bound";
+    default: return nullptr;
+  }
+}
 
 struct BoundChange {
   int var = -1;
@@ -119,6 +136,9 @@ struct SearchConfig {
   /// than this. Set to the worker count: enough to feed idle workers,
   /// rare enough that almost every node keeps warm-re-solve cost.
   int donate_below = 1;
+  /// Monotonic origin of the solve (obs::now_ns at entry): audit-node t_ns
+  /// stamps are relative to it.
+  std::int64_t start_ns = 0;
 };
 
 double cutoff_of(const SearchState& st, const MipOptions& opt) {
@@ -228,11 +248,21 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
         n.lo = sub.path.back().lo;
         n.hi = sub.path.back().hi;
         n.disp = NodeDisp::kUnprocessed;
+        n.t_ns = obs::now_ns() - cfg.start_ns;
         shard.nodes.push_back(n);
       }
     }
     local.clear();
   };
+
+  // Worker-local telemetry tallies, flushed once at worker exit.
+  const std::int64_t worker_start_ns = obs::now_ns();
+  std::int64_t busy_ns = 0;
+  long long subtree_sessions = 0;
+  long long donations = 0;
+  long long cold_solves = 0;
+  long long warm_resolves = 0;
+  long long processed_nodes = 0;
 
   std::unique_lock<std::mutex> lock(st.queue_mu);
   while (true) {
@@ -245,7 +275,16 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
     Subproblem cur = std::move(st.open.back());
     st.open.pop_back();
     ++st.in_flight;
+    const auto queue_depth = static_cast<double>(st.open.size());
     lock.unlock();
+
+    // The session span closes at the end of this loop iteration (after the
+    // local stack drains), giving each popped subtree one trace slice on
+    // this worker's lane; busy_ns accumulates the same window.
+    const obs::Span session_span("bnb.par.subtree", opt.telemetry);
+    const std::int64_t session_start_ns = obs::now_ns();
+    ++subtree_sessions;
+    if (opt.telemetry) ND_OBS_VALUE("bnb.par.queue_depth", queue_depth);
 
     bool fresh = true;   // cur is a cross-subtree jump: cold-solve it
     bool working = true;
@@ -276,10 +315,14 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
         }
       }
       if (abandoned) {
-        if (cfg.audit) shard.nodes.push_back(node);
+        if (cfg.audit) {
+          node.t_ns = obs::now_ns() - cfg.start_ns;
+          shard.nodes.push_back(node);
+        }
         drain_local();
         break;
       }
+      ++processed_nodes;
 
       if (cfg.clock->seconds() > opt.time_limit_s || node_count > opt.node_limit) {
         node.disp = NodeDisp::kLimit;
@@ -294,9 +337,11 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
       } else {
         lp::SolveStatus s;
         if (fresh) {
+          ++cold_solves;
           apply_path(engine, cfg, es, cur.path);
           s = engine.solve();
         } else {
+          ++warm_resolves;
           // The sequential walk: revert the applied suffix down to the
           // common ancestor, tighten this node's one bound, dual re-solve.
           warm_goto(engine, es, cur.path);
@@ -329,7 +374,11 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
               const double cand_obj = model.lp().objective_value(candidate);
               node.has_completion = true;
               node.completion_obj = cand_obj;
-              try_promote(st, cand_obj, std::move(candidate), &node);
+              if (try_promote(st, cand_obj, std::move(candidate), &node) &&
+                  opt.telemetry) {
+                ND_OBS_COUNT("bnb.incumbent_updates", 1);
+                ND_OBS_INSTANT("bnb.incumbent", cand_obj);
+              }
               if (cand_obj <=
                   node.bound + std::max(opt.abs_gap, opt.rel_gap * std::abs(cand_obj))) {
                 node.disp = NodeDisp::kCompletionClosed;
@@ -347,8 +396,11 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
                   x[ju] = std::round(x[ju]);
                 }
               }
-              if (model.is_mip_feasible(x, std::max(1e-5, opt.int_tol))) {
-                try_promote(st, node.bound, std::move(x), &node);
+              if (model.is_mip_feasible(x, std::max(1e-5, opt.int_tol)) &&
+                  try_promote(st, node.bound, std::move(x), &node) &&
+                  opt.telemetry) {
+                ND_OBS_COUNT("bnb.incumbent_updates", 1);
+                ND_OBS_INSTANT("bnb.incumbent", node.bound);
               }
               node.disp = NodeDisp::kIntegral;
             } else {
@@ -394,6 +446,7 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
                   }
                 }
                 if (donate) {
+                  ++donations;
                   st.queue_cv.notify_all();
                 } else {
                   local.push_back(std::move(far_child));
@@ -406,7 +459,11 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
         }
       }
 
+      node.t_ns = obs::now_ns() - cfg.start_ns;
       if (cfg.audit) shard.nodes.push_back(node);
+      if (opt.telemetry) {
+        if (const char* c = disp_counter(node.disp)) ND_OBS_COUNT(c, 1);
+      }
 
       if (hit_limit) {
         {
@@ -428,6 +485,7 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
       }
     }
     ND_ASSERT(local.empty(), "worker session ended with live local subproblems");
+    busy_ns += obs::now_ns() - session_start_ns;
 
     lock.lock();
     --st.in_flight;
@@ -435,6 +493,21 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
       st.queue_cv.notify_all();
     }
   }
+  lock.unlock();
+  if (opt.telemetry) {
+    const int slot = std::max(0, ThreadPool::current_worker_index());
+    const std::int64_t lifetime_ns = obs::now_ns() - worker_start_ns;
+    ND_OBS_COUNT("bnb.nodes", processed_nodes);
+    ND_OBS_COUNT("bnb.par.busy_ns", busy_ns);
+    ND_OBS_COUNT("bnb.par.idle_ns", std::max<std::int64_t>(0, lifetime_ns - busy_ns));
+    ND_OBS_COUNT("bnb.par.w" + std::to_string(slot) + ".busy_ns", busy_ns);
+    ND_OBS_COUNT("bnb.par.subtrees", subtree_sessions);
+    ND_OBS_COUNT("bnb.par.donations", donations);
+    ND_OBS_COUNT("bnb.par.cold_solves", cold_solves);
+    ND_OBS_COUNT("bnb.par.warm_resolves", warm_resolves);
+    lp::emit_lp_counters(engine);
+  }
+  lock.lock();
   st.lp_iterations += engine.iterations();
 }
 
@@ -442,6 +515,7 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
 
 MipResult solve_parallel(const Model& model, const MipOptions& opt, int threads) {
   Stopwatch clock;
+  const obs::Span solve_span("bnb.solve", opt.telemetry);
   MipResult res;
 
   AuditLog* aud = opt.audit;
@@ -461,6 +535,7 @@ MipResult solve_parallel(const Model& model, const MipOptions& opt, int threads)
   // episodes fail fast instead of burning the budget.
   cfg.lp_opt.max_iters = 50000;
   cfg.donate_below = threads;
+  cfg.start_ns = obs::now_ns();
   cfg.deadline = std::chrono::steady_clock::now() +
                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                      std::chrono::duration<double>(opt.time_limit_s));
@@ -517,7 +592,13 @@ MipResult solve_parallel(const Model& model, const MipOptions& opt, int threads)
     res.nodes = 1;
     res.lp_iterations = root_engine.iterations();
     root.disp = NodeDisp::kPrunedInfeasible;
+    root.t_ns = obs::now_ns() - cfg.start_ns;
     if (aud != nullptr) aud->root_bound = kInf;
+    if (opt.telemetry) {
+      ND_OBS_COUNT("bnb.nodes", 1);
+      ND_OBS_COUNT("bnb.pruned_infeasible", 1);
+      lp::emit_lp_counters(root_engine);
+    }
     return finish(MipStatus::kInfeasible, kInf);
   }
   ND_ASSERT(root_status != lp::SolveStatus::kUnbounded,
@@ -634,6 +715,13 @@ MipResult solve_parallel(const Model& model, const MipOptions& opt, int threads)
     }
   }
   st.lp_iterations += root_engine.iterations();
+  root.t_ns = obs::now_ns() - cfg.start_ns;
+  if (opt.telemetry) {
+    ND_OBS_COUNT("bnb.nodes", 1);
+    ND_OBS_COUNT("bnb.par.cold_solves", 1);  // the root LP itself
+    if (const char* c = disp_counter(root.disp)) ND_OBS_COUNT(c, 1);
+    lp::emit_lp_counters(root_engine);
+  }
 
   // ---- Workers.
   if (!st.open.empty()) {
@@ -670,6 +758,7 @@ MipResult solve_parallel(const Model& model, const MipOptions& opt, int threads)
       n.lo = sub.path.back().lo;
       n.hi = sub.path.back().hi;
       n.disp = NodeDisp::kUnprocessed;
+      n.t_ns = obs::now_ns() - cfg.start_ns;
       main_shard.nodes.push_back(n);
     }
   }

@@ -1,0 +1,410 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace nd::obs {
+
+std::int64_t now_ns() {
+  // Process-local monotonic origin: the first call anchors t = 0. steady_clock
+  // by design — wall-clock jumps (NTP) would corrupt span durations.
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+namespace {
+
+/// Saturating int64 add: counters pin at the representable limits instead of
+/// wrapping (overflow on a telemetry counter must never become UB or a
+/// nonsense negative total).
+template <typename T>
+void add_saturating(T& acc, T delta) {
+  T out = 0;
+  if (__builtin_add_overflow(acc, delta, &out)) {
+    acc = delta > 0 ? std::numeric_limits<T>::max() : std::numeric_limits<T>::min();
+  } else {
+    acc = out;
+  }
+}
+
+void fold_value(ValueStat& s, double v) {
+  if (s.count == 0) {
+    s.min = v;
+    s.max = v;
+  } else {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  ++s.count;
+  s.sum += v;
+}
+
+void fold_timer(TimerStat& s, std::int64_t dur_ns) {
+  if (s.count == 0) {
+    s.min_ns = dur_ns;
+    s.max_ns = dur_ns;
+  } else {
+    s.min_ns = std::min(s.min_ns, dur_ns);
+    s.max_ns = std::max(s.max_ns, dur_ns);
+  }
+  ++s.count;
+  add_saturating(s.total_ns, dur_ns);
+}
+
+}  // namespace
+
+#if ND_OBS_ENABLED
+
+namespace {
+
+/// Everything one registry (or the retired accumulator) holds.
+struct Shard {
+  std::map<std::string, long long> counters;
+  std::map<std::string, ValueStat> values;
+  std::map<std::string, TimerStat> timers;
+  std::vector<SpanEvent> events;
+};
+
+void merge_shard(Shard& dst, const Shard& src) {
+  for (const auto& [name, v] : src.counters) add_saturating(dst.counters[name], v);
+  for (const auto& [name, v] : src.values) {
+    ValueStat& d = dst.values[name];
+    if (d.count == 0) {
+      d = v;
+    } else if (v.count > 0) {
+      d.count += v.count;
+      d.sum += v.sum;
+      d.min = std::min(d.min, v.min);
+      d.max = std::max(d.max, v.max);
+    }
+  }
+  for (const auto& [name, v] : src.timers) {
+    TimerStat& d = dst.timers[name];
+    if (d.count == 0) {
+      d = v;
+    } else if (v.count > 0) {
+      d.count += v.count;
+      add_saturating(d.total_ns, v.total_ns);
+      d.min_ns = std::min(d.min_ns, v.min_ns);
+      d.max_ns = std::max(d.max_ns, v.max_ns);
+    }
+  }
+  dst.events.insert(dst.events.end(), src.events.begin(), src.events.end());
+}
+
+struct Registry;
+
+/// Process-wide session state. Intentionally leaked (never destroyed) so
+/// thread-local Registry destructors running during process teardown can
+/// still deregister safely whatever the static-destruction order is.
+struct Global {
+  std::mutex mu;                 ///< guards live/retired/session bookkeeping
+  std::vector<Registry*> live;   ///< one per thread that has emitted
+  Shard retired;                 ///< flushed data of threads that exited
+  std::uint64_t next_reg_id = 1;
+  std::atomic<int> mode{0};      ///< 0 off, 1 counters, 2 counters + trace
+  std::int64_t session_start = 0;
+};
+
+Global& g() {
+  static Global* global = new Global;  // leaked by design, see above
+  return *global;
+}
+
+/// Per-thread collection shard. Lock order is always g().mu before
+/// Registry::mu (drain path); the owning thread takes only its own mu.
+struct Registry {
+  std::mutex mu;
+  std::uint64_t id = 0;
+  std::uint64_t next_seq = 0;
+  Shard data;
+
+  Registry() {
+    Global& global = g();
+    const std::lock_guard<std::mutex> lock(global.mu);
+    id = global.next_reg_id++;
+    global.live.push_back(this);
+  }
+
+  ~Registry() {
+    Global& global = g();
+    const std::lock_guard<std::mutex> lock(global.mu);
+    merge_shard(global.retired, data);
+    global.live.erase(std::remove(global.live.begin(), global.live.end(), this),
+                      global.live.end());
+  }
+};
+
+Registry& local_registry() {
+  thread_local Registry reg;
+  return reg;
+}
+
+/// Trace lane id: pool slot + 1 inside a ThreadPool worker, 0 for the main
+/// (or any off-pool) thread. Computed per event because pool threads are
+/// reused across sessions.
+int current_tid() {
+  const int w = ThreadPool::current_worker_index();
+  return w >= 0 ? w + 1 : 0;
+}
+
+}  // namespace
+
+bool start(bool with_trace) {
+  Global& global = g();
+  const std::lock_guard<std::mutex> lock(global.mu);
+  if (global.mode.load(std::memory_order_relaxed) != 0) return false;
+  for (Registry* r : global.live) {
+    const std::lock_guard<std::mutex> rl(r->mu);
+    r->data = Shard{};
+    r->next_seq = 0;
+  }
+  global.retired = Shard{};
+  global.session_start = now_ns();
+  global.mode.store(with_trace ? 2 : 1, std::memory_order_relaxed);
+  return true;
+}
+
+Profile stop() {
+  Global& global = g();
+  const std::lock_guard<std::mutex> lock(global.mu);
+  Profile p;
+  const int mode = global.mode.exchange(0, std::memory_order_relaxed);
+  if (mode == 0) return p;
+  p.traced = (mode == 2);
+  p.session_ns = now_ns() - global.session_start;
+
+  Shard all = std::move(global.retired);
+  global.retired = Shard{};
+  for (Registry* r : global.live) {
+    const std::lock_guard<std::mutex> rl(r->mu);
+    merge_shard(all, r->data);
+    r->data = Shard{};
+  }
+  p.counters = std::move(all.counters);
+  p.values = std::move(all.values);
+  p.timers = std::move(all.timers);
+  p.events = std::move(all.events);
+  // Deterministic event order for any fixed multiset of events: registry ids
+  // are unique, (reg_id, seq) orders each registry's emissions.
+  std::sort(p.events.begin(), p.events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.reg_id != b.reg_id) return a.reg_id < b.reg_id;
+              return a.seq < b.seq;
+            });
+  return p;
+}
+
+bool collecting() { return g().mode.load(std::memory_order_relaxed) != 0; }
+
+bool tracing() { return g().mode.load(std::memory_order_relaxed) == 2; }
+
+std::map<std::string, long long> counter_totals() {
+  Global& global = g();
+  const std::lock_guard<std::mutex> lock(global.mu);
+  std::map<std::string, long long> totals = global.retired.counters;
+  for (Registry* r : global.live) {
+    const std::lock_guard<std::mutex> rl(r->mu);
+    for (const auto& [name, v] : r->data.counters) add_saturating(totals[name], v);
+  }
+  return totals;
+}
+
+void counter_add(const std::string& name, long long delta) {
+  if (g().mode.load(std::memory_order_relaxed) == 0) return;
+  Registry& r = local_registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  add_saturating(r.data.counters[name], delta);
+}
+
+void value_observe(const std::string& name, double v) {
+  if (g().mode.load(std::memory_order_relaxed) == 0) return;
+  Registry& r = local_registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  fold_value(r.data.values[name], v);
+}
+
+void instant(const std::string& name, double v) {
+  const int mode = g().mode.load(std::memory_order_relaxed);
+  if (mode == 0) return;
+  Registry& r = local_registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  fold_value(r.data.values[name], v);
+  if (mode == 2) {
+    SpanEvent ev;
+    ev.name = name;
+    ev.tid = current_tid();
+    ev.start_ns = std::max<std::int64_t>(0, now_ns() - g().session_start);
+    ev.dur_ns = -1;  // instant marker
+    ev.depth = ThreadPool::open_spans();
+    ev.value = v;
+    ev.reg_id = r.id;
+    ev.seq = r.next_seq++;
+    r.data.events.push_back(std::move(ev));
+  }
+}
+
+Span::Span(const char* name, bool armed) {
+  if (!armed || g().mode.load(std::memory_order_relaxed) == 0) return;
+  name_ = name;
+  start_ = now_ns();
+  depth_ = ThreadPool::open_spans()++;
+}
+
+Span::~Span() {
+  if (start_ < 0) return;
+  --ThreadPool::open_spans();
+  const int mode = g().mode.load(std::memory_order_relaxed);
+  if (mode == 0) return;  // session closed mid-span: drop the occurrence
+  const std::int64_t end = now_ns();
+  Registry& r = local_registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  fold_timer(r.data.timers[name_], end - start_);
+  if (mode == 2) {
+    SpanEvent ev;
+    ev.name = name_;
+    ev.tid = current_tid();
+    ev.start_ns = std::max<std::int64_t>(0, start_ - g().session_start);
+    ev.dur_ns = end - start_;
+    ev.depth = depth_;
+    ev.reg_id = r.id;
+    ev.seq = r.next_seq++;
+    r.data.events.push_back(std::move(ev));
+  }
+}
+
+#else  // !ND_OBS_ENABLED — session stubs; exporters below stay available.
+
+bool start(bool /*with_trace*/) { return false; }
+Profile stop() { return Profile{}; }
+bool collecting() { return false; }
+bool tracing() { return false; }
+std::map<std::string, long long> counter_totals() { return {}; }
+
+#endif  // ND_OBS_ENABLED
+
+// -- Exporters (both builds: pure functions of a Profile) -------------------
+
+std::string to_table(const Profile& p) {
+  std::string out;
+
+  if (!p.timers.empty()) {
+    // Total-time-descending puts the expensive subsystems first.
+    std::vector<std::pair<std::string, TimerStat>> timers(p.timers.begin(),
+                                                          p.timers.end());
+    std::sort(timers.begin(), timers.end(), [](const auto& a, const auto& b) {
+      if (a.second.total_ns != b.second.total_ns)
+        return a.second.total_ns > b.second.total_ns;
+      return a.first < b.first;
+    });
+    Table t({"span", "count", "total_ms", "mean_ms", "min_ms", "max_ms"});
+    for (const auto& [name, s] : timers) {
+      const double total_ms = static_cast<double>(s.total_ns) * 1e-6;
+      t.add_row({name, fmt_i(s.count), fmt_f(total_ms, 3),
+                 fmt_f(s.count > 0 ? total_ms / static_cast<double>(s.count) : 0.0, 4),
+                 fmt_f(static_cast<double>(s.min_ns) * 1e-6, 4),
+                 fmt_f(static_cast<double>(s.max_ns) * 1e-6, 4)});
+    }
+    out += t.to_ascii();
+  }
+
+  if (!p.counters.empty()) {
+    Table t({"counter", "value"});
+    for (const auto& [name, v] : p.counters) t.add_row({name, fmt_i(v)});
+    if (!out.empty()) out += "\n";
+    out += t.to_ascii();
+  }
+
+  if (!p.values.empty()) {
+    Table t({"value", "count", "mean", "min", "max"});
+    for (const auto& [name, s] : p.values) {
+      t.add_row({name, fmt_i(s.count),
+                 fmt_f(s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0, 4),
+                 fmt_f(s.min, 4), fmt_f(s.max, 4)});
+    }
+    if (!out.empty()) out += "\n";
+    out += t.to_ascii();
+  }
+
+  if (out.empty()) out = "(no telemetry recorded)\n";
+  return out;
+}
+
+json::Value trace_to_json(const Profile& p) {
+  json::Array events;
+
+  // Thread-name metadata lanes, one per tid present in the events.
+  std::vector<int> tids;
+  for (const SpanEvent& ev : p.events) {
+    if (std::find(tids.begin(), tids.end(), ev.tid) == tids.end())
+      tids.push_back(ev.tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  for (const int tid : tids) {
+    const std::string label = tid == 0 ? "main" : "worker " + std::to_string(tid - 1);
+    events.push_back(json::Object{
+        {"name", "thread_name"},
+        {"ph", "M"},
+        {"pid", 1},
+        {"tid", tid},
+        {"args", json::Object{{"name", label}}},
+    });
+  }
+
+  for (const SpanEvent& ev : p.events) {
+    // trace_event timestamps are microseconds (double).
+    const double ts_us = static_cast<double>(ev.start_ns) * 1e-3;
+    if (ev.dur_ns < 0) {
+      events.push_back(json::Object{
+          {"name", ev.name},
+          {"cat", "instant"},
+          {"ph", "i"},
+          {"s", "t"},
+          {"ts", ts_us},
+          {"pid", 1},
+          {"tid", ev.tid},
+          {"args", json::Object{{"value", ev.value}}},
+      });
+    } else {
+      events.push_back(json::Object{
+          {"name", ev.name},
+          {"cat", "span"},
+          {"ph", "X"},
+          {"ts", ts_us},
+          {"dur", static_cast<double>(ev.dur_ns) * 1e-3},
+          {"pid", 1},
+          {"tid", ev.tid},
+          {"args", json::Object{{"depth", ev.depth}}},
+      });
+    }
+  }
+
+  json::Object counters;
+  for (const auto& [name, v] : p.counters)
+    counters.emplace_back(name, static_cast<double>(v));
+
+  return json::Object{
+      {"traceEvents", std::move(events)},
+      {"displayTimeUnit", "ms"},
+      {"otherData",
+       json::Object{
+           {"tool", "nocdeploy"},
+           {"schema", "nocdeploy-trace/1"},
+           {"session_ms", static_cast<double>(p.session_ns) * 1e-6},
+           {"counters", std::move(counters)},
+       }},
+  };
+}
+
+}  // namespace nd::obs

@@ -1,0 +1,186 @@
+// Zero-overhead-when-disabled instrumentation layer: scoped RAII spans on a
+// monotonic clock, named counters and value statistics on thread-local
+// registries, drained into one deterministic Profile, and two exporters — a
+// human-readable stats table (common/table) and Chrome trace_event JSON
+// (loadable in chrome://tracing or https://ui.perfetto.dev).
+//
+// Gating has two levels:
+//   * compile time — the CMake option NOCDEPLOY_OBS (default ON) defines the
+//     NOCDEPLOY_OBS macro; with it OFF every emission macro expands to
+//     nothing and Span is an empty type, so instrumented code carries zero
+//     cost and certified objectives are byte-identical either way;
+//   * run time — even when compiled in, nothing is recorded until a session
+//     is opened with start(); emission points cost one relaxed atomic load
+//     while no session is active.
+//
+// Threading model: each thread owns one registry guarded by its own mutex —
+// the owner writes under it, drain() snapshots under it, so concurrent
+// collection is race-free (TSan-clean) without a global hot lock. Registries
+// of threads that exit mid-session flush into a retired accumulator.
+// Merging is deterministic: counters/values/timers merge by name into sorted
+// maps (sums, mins and maxes are order-independent), span events sort by
+// (start_ns, registry id, sequence number).
+//
+// See docs/observability.md for the full model and exporter formats.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+// CMake passes -DNOCDEPLOY_OBS=0 when the layer is disabled; absent means on.
+#ifndef NOCDEPLOY_OBS
+#define NOCDEPLOY_OBS 1
+#endif
+#if NOCDEPLOY_OBS
+#define ND_OBS_ENABLED 1
+#else
+#define ND_OBS_ENABLED 0
+#endif
+
+namespace nd::obs {
+
+/// Monotonic nanoseconds since an arbitrary process-local origin
+/// (steady_clock). Available in BOTH build flavours — audit timestamps
+/// (milp::AuditNode::t_ns) rely on it even when telemetry is compiled out.
+std::int64_t now_ns();
+
+/// True when the layer is compiled in (NOCDEPLOY_OBS). Lets callers print an
+/// honest "compiled out" note instead of an empty table.
+constexpr bool compiled_in() { return ND_OBS_ENABLED != 0; }
+
+/// Aggregate for a named scoped-span timer.
+struct TimerStat {
+  long long count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t min_ns = 0;
+  std::int64_t max_ns = 0;
+};
+
+/// Aggregate for a named observed value (gauge/histogram summary).
+struct ValueStat {
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One completed span occurrence (trace sessions only). dur_ns < 0 marks an
+/// instant event (exported with phase "i"); `value` then carries its payload.
+struct SpanEvent {
+  std::string name;
+  int tid = 0;          ///< 0 = main/off-pool thread, pool slot + 1 otherwise
+  std::int64_t start_ns = 0;  ///< relative to the session start
+  std::int64_t dur_ns = 0;
+  int depth = 0;        ///< open-span nesting depth at entry
+  double value = 0.0;   ///< instant events only
+  std::uint64_t reg_id = 0;   ///< producing registry (merge tiebreak)
+  std::uint64_t seq = 0;      ///< per-registry emission order (merge tiebreak)
+};
+
+/// Everything one session collected, merged deterministically at stop().
+struct Profile {
+  std::map<std::string, long long> counters;
+  std::map<std::string, ValueStat> values;
+  std::map<std::string, TimerStat> timers;
+  std::vector<SpanEvent> events;       ///< empty unless the session traced
+  std::int64_t session_ns = 0;         ///< stop() - start() wall time
+  bool traced = false;
+};
+
+// -- Session control (no-ops returning empty data when compiled out) --------
+
+/// Open a collection session (with per-event tracing when `with_trace`).
+/// Returns true if this call opened the session, false if one was already
+/// active (or the layer is compiled out) — pass that result to stop() at
+/// most once so nested users (e.g. sweep inside `--stats`) compose.
+bool start(bool with_trace = false);
+
+/// Close the session and drain every registry into a Profile.
+Profile stop();
+
+/// True between start() and stop().
+bool collecting();
+
+/// True when the active session records span events for trace export.
+bool tracing();
+
+/// Live snapshot of merged counter totals (current session). Subtracting two
+/// snapshots brackets a region — sweep_runner uses this per seed.
+std::map<std::string, long long> counter_totals();
+
+// -- Emission ---------------------------------------------------------------
+// Free-function forms exist in both builds (no-op stubs when compiled out)
+// so options-gated call sites compile unchanged; the ND_OBS_* macros compile
+// to nothing entirely and are what hot loops should use.
+
+#if ND_OBS_ENABLED
+/// Add `delta` to the named counter (saturating at the int64 limits).
+void counter_add(const std::string& name, long long delta);
+/// Fold `v` into the named value statistic (count/sum/min/max).
+void value_observe(const std::string& name, double v);
+/// value_observe + an instant mark on the trace timeline (phase "i").
+void instant(const std::string& name, double v);
+#else
+inline void counter_add(const std::string&, long long) {}
+inline void value_observe(const std::string&, double) {}
+inline void instant(const std::string&, double) {}
+#endif
+
+/// RAII scoped span: records a TimerStat rollup always, and a SpanEvent when
+/// the session traces. `armed = false` (e.g. MipOptions::telemetry off)
+/// makes construction and destruction free.
+class Span {
+ public:
+#if ND_OBS_ENABLED
+  explicit Span(const char* name, bool armed = true);
+  ~Span();
+#else
+  explicit Span(const char* /*name*/, bool /*armed*/ = true) {}
+  ~Span() = default;
+#endif
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#if ND_OBS_ENABLED
+  const char* name_ = nullptr;
+  std::int64_t start_ = -1;  ///< -1 = inactive (disarmed or no session)
+  int depth_ = 0;
+#endif
+};
+
+// -- Exporters --------------------------------------------------------------
+
+/// Human-readable per-subsystem breakdown: a span table (count/total/mean/
+/// min/max, sorted by total time descending), a counter table and a value
+/// table (both sorted by name). Reuses the common/table printers.
+std::string to_table(const Profile& p);
+
+/// Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit": "ms",
+/// "otherData": {...}}. Spans become complete events (ph "X", microsecond
+/// ts/dur), instants become ph "i", and each thread lane gets a thread_name
+/// metadata record. Counter totals ride along in otherData.
+json::Value trace_to_json(const Profile& p);
+
+}  // namespace nd::obs
+
+// Hot-loop emission macros: compile to nothing when the layer is off.
+#if ND_OBS_ENABLED
+#define ND_OBS_COUNT(name, delta) ::nd::obs::counter_add((name), (delta))
+#define ND_OBS_VALUE(name, v) ::nd::obs::value_observe((name), (v))
+#define ND_OBS_INSTANT(name, v) ::nd::obs::instant((name), (v))
+#else
+#define ND_OBS_COUNT(name, delta) \
+  do {                            \
+  } while (false)
+#define ND_OBS_VALUE(name, v) \
+  do {                        \
+  } while (false)
+#define ND_OBS_INSTANT(name, v) \
+  do {                          \
+  } while (false)
+#endif

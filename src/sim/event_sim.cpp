@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "deploy/evaluate.hpp"
+#include "obs/obs.hpp"
 
 namespace nd::sim {
 
@@ -112,12 +113,16 @@ SimResult simulate(const deploy::DeploymentProblem& p, const deploy::DeploymentS
     }
   };
 
+  const obs::Span run_span("sim.run");
+  long long n_finish = 0, n_delivered = 0, n_hops = 0;
+
   pump();
   while (!events.empty()) {
     const Event ev = events.top();
     events.pop();
     now = ev.time;
     if (ev.kind == Kind::kTaskFinish) {
+      ++n_finish;
       const int i = ev.id;
       --remaining;
       res.makespan = std::max(res.makespan, now);
@@ -147,6 +152,7 @@ SimResult simulate(const deploy::DeploymentProblem& p, const deploy::DeploymentS
         }
       }
     } else if (ev.kind == Kind::kMsgHop) {
+      ++n_hops;
       // Contention mode: claim the next link of the path (store-and-forward);
       // busy links serialize competing messages.
       Flight& f = flights[ev.id];
@@ -168,6 +174,7 @@ SimResult simulate(const deploy::DeploymentProblem& p, const deploy::DeploymentS
         events.push({done, Kind::kMsgHop, ev.id});
       }
     } else {
+      ++n_delivered;
       const auto& e = p.dup().edges()[static_cast<std::size_t>(ev.id)];
       const auto ju = static_cast<std::size_t>(e.to);
       --missing_msgs[ju];
@@ -175,6 +182,11 @@ SimResult simulate(const deploy::DeploymentProblem& p, const deploy::DeploymentS
     }
     pump();
   }
+
+  ND_OBS_COUNT("sim.runs", 1);
+  ND_OBS_COUNT("sim.events.task_finish", n_finish);
+  ND_OBS_COUNT("sim.events.msg_delivered", n_delivered);
+  ND_OBS_COUNT("sim.events.msg_hop", n_hops);
 
   res.completed = (remaining == 0);
   if (!res.completed) {

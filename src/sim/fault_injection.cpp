@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/prng.hpp"
 #include "deploy/evaluate.hpp"
+#include "obs/obs.hpp"
 
 namespace nd::sim {
 
@@ -26,19 +27,27 @@ FaultCampaignResult run_fault_injection(const deploy::DeploymentProblem& p,
   Prng prng(seed);
   FaultCampaignResult res;
   res.trials = trials;
+  const obs::Span campaign_span("sim.fault_campaign");
+  long long injected = 0;
   for (int t = 0; t < trials; ++t) {
     bool mission_ok = true;
     for (int i = 0; i < m && mission_ok; ++i) {
       bool survived = !prng.bernoulli(fault_prob[static_cast<std::size_t>(i)]);
-      const int d = i + m;
-      if (!survived && s.exists[static_cast<std::size_t>(d)]) {
-        survived = !prng.bernoulli(fault_prob[static_cast<std::size_t>(d)]);
+      if (!survived) {
+        ++injected;
+        const int d = i + m;
+        if (s.exists[static_cast<std::size_t>(d)]) {
+          survived = !prng.bernoulli(fault_prob[static_cast<std::size_t>(d)]);
+          if (!survived) ++injected;
+        }
       }
       mission_ok = survived;
     }
     res.successes += mission_ok ? 1 : 0;
   }
   res.observed = static_cast<double>(res.successes) / trials;
+  ND_OBS_COUNT("sim.fault.trials", trials);
+  ND_OBS_COUNT("sim.fault.injected", injected);
 
   res.predicted = 1.0;
   for (int i = 0; i < m; ++i) res.predicted *= deploy::effective_reliability(p, s, i);

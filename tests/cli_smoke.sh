@@ -49,6 +49,27 @@ if "$CLI" certify --problem "$DIR/small.json" --solution "$DIR/milp_sol.json" \
   exit 1
 fi
 
+# Telemetry: --stats prints the per-subsystem table after any command (or an
+# honest "compiled out" note when NOCDEPLOY_OBS is off — both say telemetry:).
+"$CLI" solve --problem "$DIR/prob.json" --method heuristic --stats \
+  | grep -q "telemetry:"
+
+# profile implies --stats and exercises every subsystem; --trace writes
+# Chrome trace_event JSON (valid, possibly empty, in BOTH build flavours).
+"$CLI" profile --tasks 5 --rows 2 --cols 2 --iters 500 --time-limit 10 \
+  --trials 2000 --trace "$DIR/trace.json" | grep -q "telemetry:"
+test -s "$DIR/trace.json"
+grep -q "traceEvents" "$DIR/trace.json"
+
+# --trace to an unwritable path must fail loudly with exit 2, not silently.
+if "$CLI" profile --tasks 5 --rows 2 --cols 2 --iters 500 --time-limit 10 \
+     --trials 2000 --trace /nonexistent-dir/trace.json \
+     >/dev/null 2>"$DIR/trace_err.txt"; then
+  echo "expected --trace to an unwritable path to fail" >&2
+  exit 1
+fi
+grep -q "cannot write trace file" "$DIR/trace_err.txt"
+
 # Error paths: bad file and usage errors must not return success.
 if "$CLI" validate --problem /nonexistent.json --solution "$DIR/sol.json" 2>/dev/null; then
   echo "expected failure on missing problem file" >&2

@@ -1,0 +1,373 @@
+// Tests for the obs telemetry layer (src/obs): session lifecycle, counter
+// saturation, deterministic thread merge, trace_event JSON schema, the
+// compiled-out no-op contract, and the parallel B&B busy-time accounting.
+//
+// This binary is compiled in BOTH CI flavours (NOCDEPLOY_OBS ON and OFF);
+// the ND_OBS_ENABLED guards select which contract is asserted.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "milp/audit.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "milp/model.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using nd::ThreadPool;
+using nd::lp::Sense;
+using nd::milp::Model;
+namespace obs = nd::obs;
+
+// minimize -x0 - 0.9 x1  s.t.  x0 + x1 <= 7.5,  x0, x1 in [0,10] integer.
+// Fractional LP relaxation, so every thread count has to branch (same model
+// the parallel B&B determinism tests use).
+Model staircase_model() {
+  Model m;
+  const int x0 = m.add_int(0.0, 10.0, -1.0, "x0");
+  const int x1 = m.add_int(0.0, 10.0, -0.9, "x1");
+  m.add_row({{x0, 1.0}, {x1, 1.0}}, Sense::LE, 7.5);
+  return m;
+}
+
+#if ND_OBS_ENABLED
+
+TEST(Obs, SessionLifecycle) {
+  EXPECT_FALSE(obs::collecting());
+  ASSERT_TRUE(obs::start());
+  EXPECT_TRUE(obs::collecting());
+  EXPECT_FALSE(obs::tracing());
+  // A second start() does not own the session — nested users compose.
+  EXPECT_FALSE(obs::start());
+  obs::counter_add("test.n", 3);
+  const obs::Profile p = obs::stop();
+  EXPECT_FALSE(obs::collecting());
+  ASSERT_EQ(p.counters.count("test.n"), 1u);
+  EXPECT_EQ(p.counters.at("test.n"), 3);
+  EXPECT_FALSE(p.traced);
+  EXPECT_TRUE(p.events.empty());
+}
+
+TEST(Obs, NothingRecordedWithoutSession) {
+  obs::counter_add("test.orphan", 1);
+  { const obs::Span s("test.orphan_span"); }
+  ASSERT_TRUE(obs::start());
+  const obs::Profile p = obs::stop();
+  EXPECT_EQ(p.counters.count("test.orphan"), 0u);
+  EXPECT_EQ(p.timers.count("test.orphan_span"), 0u);
+}
+
+TEST(Obs, CounterSaturatesAtInt64Limits) {
+  constexpr long long kMax = std::numeric_limits<long long>::max();
+  ASSERT_TRUE(obs::start());
+  obs::counter_add("test.sat", kMax);
+  obs::counter_add("test.sat", 5);  // would overflow — must pin, not wrap
+  obs::counter_add("test.neg", std::numeric_limits<long long>::min());
+  obs::counter_add("test.neg", -7);
+  const obs::Profile p = obs::stop();
+  EXPECT_EQ(p.counters.at("test.sat"), kMax);
+  EXPECT_EQ(p.counters.at("test.neg"), std::numeric_limits<long long>::min());
+}
+
+TEST(Obs, SpanNestingDepthsAndTimerRollup) {
+  ASSERT_TRUE(obs::start(/*with_trace=*/true));
+  {
+    const obs::Span outer("test.outer");
+    {
+      const obs::Span inner("test.inner");
+    }
+    {
+      const obs::Span inner("test.inner");
+    }
+  }
+  const obs::Profile p = obs::stop();
+  ASSERT_EQ(p.timers.count("test.outer"), 1u);
+  ASSERT_EQ(p.timers.count("test.inner"), 1u);
+  EXPECT_EQ(p.timers.at("test.outer").count, 1);
+  EXPECT_EQ(p.timers.at("test.inner").count, 2);
+  EXPECT_GE(p.timers.at("test.outer").total_ns, p.timers.at("test.inner").total_ns);
+  ASSERT_EQ(p.events.size(), 3u);
+  // Events are sorted by start time: outer first, then the two inners with
+  // nesting depth 1.
+  EXPECT_EQ(p.events[0].name, "test.outer");
+  EXPECT_EQ(p.events[0].depth, 0);
+  EXPECT_EQ(p.events[1].depth, 1);
+  EXPECT_EQ(p.events[2].depth, 1);
+  for (std::size_t i = 1; i < p.events.size(); ++i) {
+    EXPECT_LE(p.events[i - 1].start_ns, p.events[i].start_ns);
+  }
+}
+
+TEST(Obs, DisarmedSpanRecordsNothing) {
+  ASSERT_TRUE(obs::start());
+  { const obs::Span s("test.disarmed", /*armed=*/false); }
+  const obs::Profile p = obs::stop();
+  EXPECT_EQ(p.timers.count("test.disarmed"), 0u);
+}
+
+TEST(Obs, ThreadMergeIsDeterministic) {
+  constexpr int kTasks = 64;
+  constexpr int kThreads = 4;
+  ASSERT_TRUE(obs::start());
+  {
+    ThreadPool pool(kThreads);
+    nd::parallel_for(pool, kTasks, [](int i) {
+      const obs::Span s("test.task");
+      obs::counter_add("test.merged", 1);
+      obs::value_observe("test.v", static_cast<double>(i));
+    });
+  }
+  const obs::Profile p = obs::stop();
+  // Whatever the scheduling, the merged totals are exact.
+  EXPECT_EQ(p.counters.at("test.merged"), kTasks);
+  EXPECT_EQ(p.timers.at("test.task").count, kTasks);
+  ASSERT_EQ(p.values.count("test.v"), 1u);
+  EXPECT_EQ(p.values.at("test.v").count, kTasks);
+  EXPECT_DOUBLE_EQ(p.values.at("test.v").min, 0.0);
+  EXPECT_DOUBLE_EQ(p.values.at("test.v").max, kTasks - 1.0);
+  EXPECT_DOUBLE_EQ(p.values.at("test.v").sum, kTasks * (kTasks - 1.0) / 2.0);
+}
+
+TEST(Obs, PoolWorkerTidsAreSlotBased) {
+  constexpr int kThreads = 3;
+  ASSERT_TRUE(obs::start(/*with_trace=*/true));
+  {
+    ThreadPool pool(kThreads);
+    nd::parallel_for(pool, 32, [](int) { const obs::Span s("test.tid"); });
+  }
+  { const obs::Span s("test.tid_main"); }
+  const obs::Profile p = obs::stop();
+  for (const obs::SpanEvent& e : p.events) {
+    if (e.name == "test.tid") {
+      // Pool workers report slot + 1, stable across runs (not thread ids).
+      EXPECT_GE(e.tid, 1);
+      EXPECT_LE(e.tid, kThreads);
+    } else {
+      EXPECT_EQ(e.tid, 0) << e.name;  // main thread
+    }
+  }
+}
+
+TEST(Obs, InstantEventsCarryValues) {
+  ASSERT_TRUE(obs::start(/*with_trace=*/true));
+  obs::instant("test.mark", 42.5);
+  const obs::Profile p = obs::stop();
+  ASSERT_EQ(p.values.count("test.mark"), 1u);
+  ASSERT_EQ(p.events.size(), 1u);
+  EXPECT_LT(p.events[0].dur_ns, 0);  // instant marker
+  EXPECT_DOUBLE_EQ(p.events[0].value, 42.5);
+}
+
+TEST(Obs, TraceJsonSchema) {
+  ASSERT_TRUE(obs::start(/*with_trace=*/true));
+  {
+    const obs::Span s("test.span");
+    obs::instant("test.instant", 1.0);
+  }
+  obs::counter_add("test.count", 7);
+  const obs::Profile prof = obs::stop();
+
+  // The document must survive its own printer/parser round trip.
+  const nd::json::Value doc =
+      nd::json::parse(obs::trace_to_json(prof).dump(2));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  bool saw_complete = false, saw_instant = false, saw_meta = false;
+  for (const auto& e : events) {
+    const std::string ph = e.at("ph").as_string();
+    EXPECT_FALSE(e.at("name").as_string().empty());
+    EXPECT_EQ(static_cast<int>(e.at("pid").as_number()), 1);
+    (void)e.at("tid").as_number();
+    if (ph == "X") {
+      saw_complete = true;
+      EXPECT_GE(e.at("ts").as_number(), 0.0);
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(e.at("s").as_string(), "t");
+    } else {
+      EXPECT_EQ(ph, "M");
+      saw_meta = true;
+    }
+  }
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_meta);
+
+  const auto& other = doc.at("otherData");
+  EXPECT_EQ(other.at("schema").as_string(), "nocdeploy-trace/1");
+  EXPECT_EQ(static_cast<long long>(other.at("counters").at("test.count").as_number()), 7);
+}
+
+// The paper-scale workloads run the parallel solver for seconds; here a
+// small model just has to prove that per-worker busy time is accounted
+// sanely: every worker reports, the total is positive, and no worker claims
+// more time than the solve's wall clock allows.
+TEST(Obs, ParallelBnbBusyTimeWithinWallClock) {
+  constexpr int kThreads = 2;
+  const Model m = staircase_model();
+  ASSERT_TRUE(obs::start());
+  nd::Stopwatch sw;
+  nd::milp::MipOptions opt;
+  opt.num_threads = kThreads;
+  const auto res = nd::milp::solve(m, opt);
+  const double wall_s = sw.seconds();
+  const obs::Profile p = obs::stop();
+
+  EXPECT_EQ(res.status, nd::milp::MipStatus::kOptimal);
+  ASSERT_EQ(p.counters.count("bnb.par.busy_ns"), 1u);
+  const long long busy_total = p.counters.at("bnb.par.busy_ns");
+  EXPECT_GT(busy_total, 0);
+  // Σ busy ≤ threads × wall (generous envelope for clock granularity).
+  const double envelope_ns = kThreads * wall_s * 1e9 * 1.5 + 1e6;
+  EXPECT_LE(static_cast<double>(busy_total), envelope_ns);
+
+  // Which pool slot ran which worker task is scheduling-dependent (a fast
+  // search can finish before every slot picks one up), but the per-slot
+  // lanes must exist and partition the total exactly.
+  long long per_worker = 0;
+  int lanes = 0;
+  for (const auto& [name, v] : p.counters) {
+    if (name.rfind("bnb.par.w", 0) == 0 && name.size() > 9 &&
+        std::isdigit(static_cast<unsigned char>(name[9])) != 0) {
+      per_worker += v;
+      ++lanes;
+    }
+  }
+  EXPECT_GE(lanes, 1);
+  EXPECT_LE(lanes, kThreads);
+  EXPECT_EQ(per_worker, busy_total);
+  // busy + idle covers each worker's lifetime, so idle is present too.
+  EXPECT_EQ(p.counters.count("bnb.par.idle_ns"), 1u);
+  // Node dispositions flow into the same names the sequential solver uses.
+  EXPECT_EQ(p.counters.at("bnb.nodes"), res.nodes);
+}
+
+TEST(Obs, SequentialBnbCountersMatchResult) {
+  const Model m = staircase_model();
+  ASSERT_TRUE(obs::start());
+  nd::milp::MipOptions opt;
+  opt.num_threads = 1;
+  const auto res = nd::milp::solve(m, opt);
+  const obs::Profile p = obs::stop();
+  EXPECT_EQ(res.status, nd::milp::MipStatus::kOptimal);
+  EXPECT_EQ(p.counters.at("bnb.nodes"), res.nodes);
+  EXPECT_GE(p.counters.at("bnb.incumbent_updates"), 1);
+  EXPECT_EQ(p.counters.at("lp.iterations"), res.lp_iterations);
+  ASSERT_EQ(p.timers.count("bnb.solve"), 1u);
+  EXPECT_EQ(p.timers.at("bnb.solve").count, 1);
+}
+
+TEST(Obs, TelemetryOptOutKeepsSolveOutOfProfile) {
+  const Model m = staircase_model();
+  ASSERT_TRUE(obs::start());
+  nd::milp::MipOptions opt;
+  opt.telemetry = false;
+  const auto res = nd::milp::solve(m, opt);
+  const obs::Profile p = obs::stop();
+  EXPECT_EQ(res.status, nd::milp::MipStatus::kOptimal);
+  EXPECT_EQ(p.counters.count("bnb.nodes"), 0u);
+  EXPECT_EQ(p.timers.count("bnb.solve"), 0u);
+}
+
+// A task that returns with a span still open would corrupt every later
+// span's depth on that worker; the pool turns it into a loud abort instead.
+TEST(ObsDeathTest, LeakedSpanInPoolTaskAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        obs::start();
+        ThreadPool pool(1);
+        pool.submit([] { new obs::Span("test.leak"); });  // leaks deliberately
+        pool.wait_idle();
+      },
+      "telemetry span");
+}
+
+#else  // !ND_OBS_ENABLED
+
+TEST(ObsDisabled, EverythingIsANoOp) {
+  EXPECT_FALSE(obs::compiled_in());
+  EXPECT_FALSE(obs::start(true));
+  EXPECT_FALSE(obs::collecting());
+  EXPECT_FALSE(obs::tracing());
+  obs::counter_add("test.n", 1);
+  obs::value_observe("test.v", 1.0);
+  obs::instant("test.i", 1.0);
+  ND_OBS_COUNT("test.macro", 1);
+  ND_OBS_VALUE("test.macro", 1.0);
+  ND_OBS_INSTANT("test.macro", 1.0);
+  { const obs::Span s("test.span"); }
+  EXPECT_TRUE(obs::counter_totals().empty());
+  const obs::Profile p = obs::stop();
+  EXPECT_TRUE(p.counters.empty());
+  EXPECT_TRUE(p.timers.empty());
+  EXPECT_TRUE(p.events.empty());
+}
+
+TEST(ObsDisabled, ExportersStillProduceValidDocuments) {
+  const obs::Profile p;
+  EXPECT_FALSE(obs::to_table(p).empty());
+  const nd::json::Value doc = nd::json::parse(obs::trace_to_json(p).dump(2));
+  EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+  EXPECT_EQ(doc.at("otherData").at("schema").as_string(), "nocdeploy-trace/1");
+}
+
+#endif  // ND_OBS_ENABLED
+
+// now_ns and audit timestamps work in BOTH builds.
+TEST(ObsBothBuilds, NowNsIsMonotonic) {
+  const std::int64_t a = obs::now_ns();
+  const std::int64_t b = obs::now_ns();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+}
+
+TEST(ObsBothBuilds, AuditNodeTimestampsSurviveJsonRoundTrip) {
+  const Model m = staircase_model();
+  nd::milp::AuditLog audit;
+  nd::milp::MipOptions opt;
+  opt.audit = &audit;
+  const auto res = nd::milp::solve(m, opt);
+  ASSERT_EQ(res.status, nd::milp::MipStatus::kOptimal);
+  ASSERT_FALSE(audit.nodes.empty());
+
+  const auto round =
+      nd::milp::audit_from_json(nd::json::parse(nd::milp::audit_to_json(audit).dump(2)));
+  ASSERT_EQ(round.nodes.size(), audit.nodes.size());
+  for (std::size_t i = 0; i < audit.nodes.size(); ++i) {
+    EXPECT_EQ(round.nodes[i].t_ns, audit.nodes[i].t_ns) << "node " << i;
+    EXPECT_GE(round.nodes[i].t_ns, 0) << "node " << i;
+  }
+}
+
+TEST(ObsBothBuilds, LegacyAuditLogsWithoutTimestampsParseAsZero) {
+  const Model m = staircase_model();
+  nd::milp::AuditLog audit;
+  nd::milp::MipOptions opt;
+  opt.audit = &audit;
+  ASSERT_EQ(nd::milp::solve(m, opt).status, nd::milp::MipStatus::kOptimal);
+
+  // Strip every "t_ns" field from the serialized log — exactly what a log
+  // written before the field existed looks like.
+  std::string text = nd::milp::audit_to_json(audit).dump(2);
+  text = std::regex_replace(text, std::regex(",\\s*\"t_ns\":\\s*[-0-9.eE+]+"), "");
+  ASSERT_EQ(text.find("t_ns"), std::string::npos);
+  const auto legacy = nd::milp::audit_from_json(nd::json::parse(text));
+  ASSERT_EQ(legacy.nodes.size(), audit.nodes.size());
+  for (const auto& n : legacy.nodes) EXPECT_EQ(n.t_ns, 0);
+}
+
+}  // namespace

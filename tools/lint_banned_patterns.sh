@@ -9,6 +9,9 @@
 #      coefficient sparsity skips, 0/1 flag decodes) carry an `fp-exact`
 #      comment on the same line, which whitelists them.
 #   3. `using namespace std;` in headers — leaks into every includer.
+#   4. std::chrono::system_clock in src/ — telemetry and audit timestamps
+#      must be monotonic (obs::now_ns / steady_clock); wall-clock time goes
+#      backwards under NTP and breaks span durations and node timelines.
 #
 # Exit 0 when clean, 1 with one "file:line: message" per hit otherwise.
 # Run from anywhere: paths resolve relative to the repo root. POSIX sh only —
@@ -43,6 +46,11 @@ report_hits "$hits" "floating-point ==/!= needs a tolerance or an 'fp-exact' com
 # --- 3. using namespace std; in headers --------------------------------------
 hits="$(headers | xargs grep -nE 'using[[:space:]]+namespace[[:space:]]+std[[:space:]]*;' /dev/null)" || true
 report_hits "$hits" "'using namespace std;' in a header leaks into every includer"
+
+# --- 4. system_clock in src/ -------------------------------------------------
+hits="$(find src -name '*.cpp' -o -name '*.hpp' | sort \
+  | xargs grep -n 'system_clock' /dev/null)" || true
+report_hits "$hits" "system_clock is not monotonic; use obs::now_ns() / steady_clock"
 
 if [ "$fail" -eq 0 ]; then
   echo "lint_banned_patterns: clean"

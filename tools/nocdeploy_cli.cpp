@@ -13,10 +13,17 @@
 //   nocdeploy crosscheck [--seeds N] [--first-seed S] [--tasks N] [--threads T] [--json]
 //   nocdeploy sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]
 //                      [--time-limit SEC] [-o BENCH_sweep.json] [--json]
+//   nocdeploy profile  [--problem P.json] [--tasks N] [--rows R] [--cols C]
+//                      [--seed S] [--iters N] [--time-limit SEC] [--threads T]
 //
 // `--threads` (solve/certify with --method optimal, crosscheck) selects the
 // MILP solver's thread count: 1 = sequential, >1 = work-sharing parallel
 // branch-and-bound, 0 = machine default (honours NOCDEPLOY_THREADS).
+//
+// Telemetry (docs/observability.md): every command accepts `--stats` (print
+// the per-subsystem stats table after the run) and `--trace FILE` (write
+// Chrome trace_event JSON loadable in chrome://tracing or ui.perfetto.dev).
+// `profile` exercises every subsystem on one instance and implies --stats.
 //
 // Exit status: 0 on success/valid, 1 on infeasible/invalid/lint-errors,
 // 2 on usage error.
@@ -24,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +50,7 @@
 #include "lp/certificate.hpp"
 #include "milp/audit.hpp"
 #include "model/formulation.hpp"
+#include "obs/obs.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/fault_injection.hpp"
 #include "task/generator.hpp"
@@ -83,7 +92,10 @@ int usage() {
                "           [--cols C] [--time-limit SEC] [--threads T] [--no-sim] [--json]\n"
                "  sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]\n"
                "           [--rows R] [--cols C] [--time-limit SEC]\n"
-               "           [-o BENCH_sweep.json] [--json]\n");
+               "           [-o BENCH_sweep.json] [--json]\n"
+               "  profile  [--problem P.json] [--tasks N] [--rows R] [--cols C]\n"
+               "           [--seed S] [--iters N] [--time-limit SEC] [--threads T]\n"
+               "global telemetry flags: [--stats] [--trace FILE]\n");
   return 2;
 }
 
@@ -376,6 +388,79 @@ int cmd_sweep(const Args& a) {
   return res.mismatches > 0 ? 1 : 0;
 }
 
+/// Build the `profile` subject: an explicit problem file when given,
+/// otherwise a small seeded instance (gen defaults scaled down so the whole
+/// run takes seconds).
+std::unique_ptr<deploy::DeploymentProblem> profile_instance(const Args& a) {
+  if (!a.get("problem").empty()) {
+    return deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
+  }
+  Prng prng(static_cast<std::uint64_t>(a.num("seed", 1)));
+  task::GenParams gen;
+  gen.num_tasks = static_cast<int>(a.num("tasks", 10));
+  gen.width = std::max(2, gen.num_tasks / 5);
+  noc::MeshParams mesh;
+  mesh.rows = static_cast<int>(a.num("rows", 3));
+  mesh.cols = static_cast<int>(a.num("cols", 3));
+  mesh.seed = static_cast<std::uint64_t>(a.num("seed", 1)) + 7777;
+  auto p = std::make_unique<deploy::DeploymentProblem>(
+      task::generate_layered(prng, gen), mesh, dvfs::VfTable::typical6(),
+      reliability::FaultParams{a.num("lambda", 2e-5), 3.0}, a.num("r-th", 0.995), 1.0);
+  p->set_horizon(p->horizon_for_alpha(a.num("alpha", 1.5)));
+  return p;
+}
+
+/// Exercise every instrumented subsystem on one instance — heuristic,
+/// annealing, MILP (warm-started), event simulation and fault injection —
+/// so the telemetry epilogue (`profile` implies --stats) shows a complete
+/// per-subsystem breakdown; add --trace FILE for the Perfetto timeline.
+int cmd_profile(const Args& a) {
+  const auto p = profile_instance(a);
+  std::printf("profile: M=%d tasks on %d procs, H=%.4f s\n", p->num_tasks(), p->num_procs(),
+              p->horizon());
+
+  const auto heur = heuristic::solve_heuristic(*p);
+  std::printf("profile: heuristic %s in %.3f s\n", heur.feasible ? "feasible" : "infeasible",
+              heur.seconds);
+
+  heuristic::AnnealOptions aopt;
+  aopt.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  aopt.iterations = static_cast<int>(a.num("iters", 4000));
+  const auto ann = heuristic::solve_annealing(*p, aopt);
+  std::printf("profile: annealing %s (obj %.4f, %d/%d moves accepted) in %.3f s\n",
+              ann.feasible ? "feasible" : "infeasible", ann.objective, ann.accepted_moves,
+              aopt.iterations, ann.seconds);
+
+  milp::MipOptions mopt;
+  mopt.time_limit_s = a.num("time-limit", 20.0);
+  mopt.num_threads = static_cast<int>(a.num("threads", 1));
+  const auto res = model::solve_optimal(*p, {}, mopt, heur.feasible ? &heur.solution : nullptr);
+  std::printf("profile: MILP %s, bound %.6f, %lld nodes, %d LP iters in %.3f s\n",
+              to_string(res.mip.status), res.mip.best_bound,
+              static_cast<long long>(res.mip.nodes), res.mip.lp_iterations, res.mip.seconds);
+
+  const deploy::DeploymentSolution* best = nullptr;
+  if (res.mip.has_solution()) {
+    best = &res.solution;
+  } else if (heur.feasible) {
+    best = &heur.solution;
+  } else if (ann.feasible) {
+    best = &ann.solution;
+  }
+  if (best != nullptr) {
+    const auto sr = sim::simulate(*p, *best);
+    std::printf("profile: simulation %s, makespan %.4f s (H %.4f s)\n",
+                sr.ok() ? "clean" : "ANOMALIES", sr.makespan, p->horizon());
+    const auto fc =
+        sim::run_fault_injection(*p, *best, static_cast<int>(a.num("trials", 20000)), 2024);
+    std::printf("profile: fault injection observed %.6f vs predicted %.6f\n", fc.observed,
+                fc.predicted);
+  } else {
+    std::printf("profile: no feasible deployment found; skipping simulation\n");
+  }
+  return 0;
+}
+
 int cmd_simulate(const Args& a) {
   if (a.get("problem").empty() || a.get("solution").empty()) return usage();
   auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
@@ -390,6 +475,19 @@ int cmd_simulate(const Args& a) {
   std::printf("fault injection (%d trials): observed %.6f vs predicted %.6f (3sigma %.6f)\n",
               fc.trials, fc.observed, fc.predicted, fc.conf3sigma);
   return sim.ok() ? 0 : 1;
+}
+
+int run_command(const Args& a) {
+  if (a.command == "gen") return cmd_gen(a);
+  if (a.command == "solve") return cmd_solve(a);
+  if (a.command == "validate") return cmd_validate(a);
+  if (a.command == "simulate") return cmd_simulate(a);
+  if (a.command == "lint") return cmd_lint(a);
+  if (a.command == "certify") return cmd_certify(a);
+  if (a.command == "crosscheck") return cmd_crosscheck(a);
+  if (a.command == "sweep") return cmd_sweep(a);
+  if (a.command == "profile") return cmd_profile(a);
+  return usage();
 }
 
 }  // namespace
@@ -413,18 +511,44 @@ int main(int argc, char** argv) {
       a.flags[key] = "";  // boolean flag
     }
   }
+
+  // Telemetry session: --stats prints the per-subsystem table, --trace FILE
+  // writes Chrome trace_event JSON; `profile` implies --stats. The session
+  // wraps the whole command so every instrumented subsystem lands in one
+  // profile (docs/observability.md).
+  const std::string trace_path = a.get("trace");
+  const bool want_trace = !trace_path.empty();
+  const bool want_stats = a.flags.count("stats") != 0 || a.command == "profile";
+  const bool telemetry_on = want_stats || want_trace;
+  if (telemetry_on) obs::start(want_trace);
+
+  int rc;
   try {
-    if (a.command == "gen") return cmd_gen(a);
-    if (a.command == "solve") return cmd_solve(a);
-    if (a.command == "validate") return cmd_validate(a);
-    if (a.command == "simulate") return cmd_simulate(a);
-    if (a.command == "lint") return cmd_lint(a);
-    if (a.command == "certify") return cmd_certify(a);
-    if (a.command == "crosscheck") return cmd_crosscheck(a);
-    if (a.command == "sweep") return cmd_sweep(a);
+    rc = run_command(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  return usage();
+
+  if (telemetry_on) {
+    const obs::Profile prof = obs::stop();
+    if (!obs::compiled_in()) {
+      std::printf("telemetry: compiled out (rebuild with -DNOCDEPLOY_OBS=ON)\n");
+    } else if (want_stats) {
+      std::printf("telemetry:\n%s", obs::to_table(prof).c_str());
+    }
+    if (want_trace) {
+      // With the layer compiled out this still writes a valid (empty) trace
+      // document, so downstream tooling never has to special-case the build.
+      try {
+        deploy::write_file(trace_path, obs::trace_to_json(prof).dump(2) + "\n");
+        std::printf("wrote %s\n", trace_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: cannot write trace file '%s': %s\n", trace_path.c_str(),
+                     e.what());
+        return 2;
+      }
+    }
+  }
+  return rc;
 }
