@@ -7,11 +7,14 @@
 #include <vector>
 
 #include "analysis/certify_bnb.hpp"
+#include "analysis/exact/certify_lp_exact.hpp"
+#include "analysis/exact/verify_deployment.hpp"
 #include "common/prng.hpp"
 #include "deploy/evaluate.hpp"
 #include "deploy/problem.hpp"
 #include "deploy/validate.hpp"
 #include "dvfs/vf_table.hpp"
+#include "heuristic/annealing.hpp"
 #include "heuristic/phases.hpp"
 #include "milp/audit.hpp"
 #include "model/formulation.hpp"
@@ -30,7 +33,8 @@ std::string fmt(double v) {
   return buf;
 }
 
-/// Validate + simulate one deployment; `who` is "heuristic" or "milp".
+/// Validate + simulate + exactly verify one deployment; `who` is "heuristic",
+/// "milp" or "anneal".
 void check_deployment(const deploy::DeploymentProblem& p, const deploy::DeploymentSolution& s,
                       const std::string& who, const CrosscheckOptions& opt, Report& rep) {
   const deploy::ValidationResult val = deploy::validate(p, s);
@@ -49,6 +53,17 @@ void check_deployment(const deploy::DeploymentProblem& p, const deploy::Deployme
                         : !sr.horizon_met     ? std::string("horizon missed")
                                               : std::string("deadline missed");
       rep.add(Severity::kError, codes::kXcheckSimDivergence, who, why);
+    }
+  }
+  if (opt.exact_verify) {
+    // Third, independent judgment: the exact static verifier proves the
+    // deployment schedulable/reliable/energy-consistent without trusting
+    // either the float validator or the simulator.
+    VerifyDeploymentOptions vopt;
+    vopt.claimed_be = deploy::evaluate_energy(p, s).max_proc();
+    const VerifyDeploymentOutcome vd = verify_deployment(p, s, vopt);
+    for (const Diagnostic& d : vd.report.diagnostics()) {
+      rep.add(d.severity, d.code, who + "/" + d.subject, d.message);
     }
   }
 }
@@ -146,8 +161,37 @@ SeedOutcome crosscheck_seed(std::uint64_t seed, const CrosscheckOptions& opt) {
                 " J beats the certified lower bound " + fmt(mip.best_bound) + " J");
   }
 
-  // Certify the run itself: root LP certificate + full tree replay.
+  // --- Annealing path: an independent metaheuristic over the same decision
+  // space. Incomplete like the decomposition heuristic, so coming up empty is
+  // a warning; a feasible state must clear every check the others do.
+  if (opt.anneal_iterations > 0) {
+    heuristic::AnnealOptions aopt;
+    aopt.iterations = opt.anneal_iterations;
+    aopt.seed = seed;
+    const heuristic::AnnealResult ann = heuristic::solve_annealing(p, aopt);
+    if (!ann.feasible) {
+      rep.add(Severity::kWarning, codes::kXcheckAnnealInfeasible, "anneal",
+              "no horizon-feasible state in " + std::to_string(aopt.iterations) +
+                  " iterations (seed leg skipped)");
+    } else {
+      check_deployment(p, ann.solution, "anneal", opt, rep);
+      out.anneal_be = deploy::evaluate_energy(p, ann.solution).max_proc();
+      if (out.anneal_be < mip.best_bound - opt.tol * (1.0 + std::abs(mip.best_bound))) {
+        rep.add(Severity::kError, codes::kXcheckBeBelowOptimal, "anneal",
+                "annealing BE " + fmt(out.anneal_be) +
+                    " J beats the certified lower bound " + fmt(mip.best_bound) + " J");
+      }
+    }
+  }
+
+  // Certify the run itself: root LP certificate + full tree replay, and —
+  // when exact checking is on — the rational re-proof of the root
+  // certificate (the per-node exact replay is the CLI's job; here the root
+  // recheck already exercises the whole exact LP pipeline per seed).
   rep.merge(certify_bnb(f.model(), audit, {opt.tol}));
+  if (opt.exact_verify) {
+    rep.merge(certify_lp_exact(f.model().lp(), audit.root_cert).report);
+  }
   return out;
 }
 

@@ -14,7 +14,13 @@
 //     claim (model ↔ evaluator consistency),
 //   * the MILP run itself is certified: the root LP certificate verifies
 //     and the branch-and-bound audit log replays cleanly
-//     (analysis/certify_lp, analysis/certify_bnb).
+//     (analysis/certify_lp, analysis/certify_bnb),
+//   * a simulated-annealing baseline explores the same space; when it finds
+//     a feasible state that deployment clears the same validator/simulator/
+//     verifier battery and respects the MILP's lower bound,
+//   * with exact_verify on, every deployment is additionally proved by the
+//     exact static verifier and the root LP certificate is re-proved in
+//     rational arithmetic (analysis/exact/).
 //
 // Every defect becomes an error diagnostic; a clean report over many seeds
 // is the repo's strongest end-to-end correctness statement.
@@ -51,12 +57,20 @@ struct CrosscheckOptions {
   int num_threads = 1;
   double tol = 1e-6;          ///< objective/energy comparison tolerance
   bool run_simulation = true; ///< event-simulate both deployments
+  /// Run the exact static verifier (analysis/exact/verify_deployment) on
+  /// every deployment any path produces, and re-prove the MILP's root LP
+  /// certificate in rational arithmetic (analysis/exact/certify_lp_exact).
+  bool exact_verify = true;
+  /// Iteration budget for the annealing leg; 0 disables it. Annealing is
+  /// incomplete, so an infeasible outcome is a warning, not a defect.
+  int anneal_iterations = 6000;
   bool verbose = false;       ///< per-seed progress on stdout
 };
 
 struct SeedOutcome {
   Report report;
   double heuristic_be = 0.0;  ///< heuristic BE objective [J]
+  double anneal_be = 0.0;     ///< annealing BE objective [J] (0 when skipped)
   double milp_obj = 0.0;      ///< MILP incumbent objective [J]
   double milp_bound = 0.0;    ///< MILP proved lower bound [J]
   milp::MipStatus milp_status = milp::MipStatus::kUnknown;

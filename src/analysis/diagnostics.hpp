@@ -91,7 +91,39 @@ inline constexpr const char* kBnbRootCert = "bnb-root-cert";                    
 inline constexpr const char* kBnbRootFixing = "bnb-root-fixing";                  // error
 inline constexpr const char* kBnbTimeline = "bnb-timeline";                       // info
 
+// certify_lp_exact (rational LP certificate re-checker, src/analysis/exact)
+inline constexpr const char* kLpExactShape = "lp-exact-shape";                    // error
+inline constexpr const char* kLpExactBasis = "lp-exact-basis";                    // error
+inline constexpr const char* kLpExactPrimal = "lp-exact-primal";                  // warning/error
+inline constexpr const char* kLpExactDual = "lp-exact-dual";                      // warning
+inline constexpr const char* kLpExactDualDrift = "lp-exact-dual-drift";           // error
+inline constexpr const char* kLpExactObjective = "lp-exact-objective";            // error
+inline constexpr const char* kLpExactFarkas = "lp-exact-farkas";                  // error
+inline constexpr const char* kLpExactVertex = "lp-exact-vertex";                  // info
+
+// certify_bnb_exact (rational B&B audit re-proof)
+inline constexpr const char* kBnbExactRoot = "bnb-exact-root";                    // error
+inline constexpr const char* kBnbExactPrune = "bnb-exact-prune";                  // error
+inline constexpr const char* kBnbExactResolve = "bnb-exact-resolve";              // warning
+inline constexpr const char* kBnbExactFixing = "bnb-exact-fixing";                // error
+inline constexpr const char* kBnbExactObjective = "bnb-exact-objective";          // error
+inline constexpr const char* kBnbExactNode = "bnb-exact-node";                    // info
+
+// verify_deployment (simulator-independent static deployment verifier)
+inline constexpr const char* kVerifyShape = "verify-shape";                       // error
+inline constexpr const char* kVerifyAssign = "verify-assign";                     // error
+inline constexpr const char* kVerifyOrderCycle = "verify-order-cycle";            // error
+inline constexpr const char* kVerifyDeadline = "verify-deadline";                 // error
+inline constexpr const char* kVerifyHorizon = "verify-horizon";                   // error
+inline constexpr const char* kVerifyRoute = "verify-route";                       // error
+inline constexpr const char* kVerifyReliability = "verify-reliability";           // error
+inline constexpr const char* kVerifyDupUnnecessary = "verify-dup-unnecessary";    // warning
+inline constexpr const char* kVerifyEnergy = "verify-energy";                     // error
+inline constexpr const char* kVerifyContention = "verify-contention";             // info/warning
+inline constexpr const char* kVerifyExact = "verify-exact";                       // info
+
 // crosscheck (differential MILP ↔ heuristic ↔ simulator harness)
+inline constexpr const char* kXcheckAnnealInfeasible = "xcheck-anneal-infeasible";  // warning
 inline constexpr const char* kXcheckHeuristicInfeasible = "xcheck-heuristic-infeasible";  // warning
 inline constexpr const char* kXcheckMilpFailed = "xcheck-milp-failed";            // error
 inline constexpr const char* kXcheckMilpNotOptimal = "xcheck-milp-not-optimal";   // warning

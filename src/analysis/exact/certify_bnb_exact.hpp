@@ -1,0 +1,61 @@
+// Exact branch-and-bound audit replay: re-proves every prune in the log.
+//
+// The float replayer (analysis/certify_bnb) trusts each node's RECORDED LP
+// bound and checks the tree logic around it. This replayer trusts nothing
+// numeric: for every node whose disposition rests on an LP bound it re-solves
+// that node's LP (float simplex over the node's exact domain, reconstructed
+// by milp::node_domain) and converts the resulting dual vector into an
+// unconditionally valid exact rational bound via exact_safe_dual_bound —
+// wrong-signed duals are projected away, so even a sloppy re-solve can only
+// WEAKEN the bound, never forge one. The exact bound must then clear the
+// final incumbent cutoff within the derived envelope of exact/envelope.hpp.
+//
+//   * kPrunedBound / kSkippedParentBound  → safe exact bound ≥ cutoff*
+//   * kCompletionClosed                   → completion obj ≤ safe bound + gap
+//   * kPrunedInfeasible                   → exact Farkas proof of the node LP
+//   * root                                → full exact certificate re-check
+//                                           (certify_lp_exact) + bound match
+//   * root reduced-cost fixings           → exact root reduced costs close
+//                                           the warm-start gap
+//   * final claims                        → exact cᵀx vs claimed objective,
+//                                           best_bound ≤ objective
+//
+// Every node LP is re-solved COLD. Replay visits nodes in log order, whose
+// consecutive domains differ in many bounds at once, so a warm dual re-solve
+// is both far slower here and exactly the code path whose verdicts this
+// replay exists to distrust.
+//
+// A node LP that fails to re-solve inside the time budget degrades to a
+// WARNING (the proof is incomplete, not refuted). A prune whose re-proof
+// FAILS is an error when the log claims kOptimal — the optimality proof has
+// a hole — but a warning under kFeasible, where the incumbent and best_bound
+// stand regardless of which subtrees were discarded. Run the float replay
+// first for tree-structure checks — this pass assumes parent links are sane
+// and bails with kBnbStructure otherwise.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/exact/rat.hpp"
+#include "milp/audit.hpp"
+#include "milp/model.hpp"
+
+namespace nd::analysis {
+
+struct CertifyBnbExactOptions {
+  /// Wall-clock budget for ALL node LP re-solves together; nodes that miss
+  /// it degrade to kBnbExactResolve warnings.
+  double lp_time_limit_s = 10.0;
+};
+
+struct ExactBnbOutcome {
+  Report report;
+  int bounds_reproved = 0;   ///< node bounds re-proved exactly
+  int resolves_failed = 0;   ///< node LPs that could not be re-solved in time
+
+  [[nodiscard]] bool accepted() const { return report.num_errors() == 0; }
+};
+
+ExactBnbOutcome certify_bnb_exact(const milp::Model& model, const milp::AuditLog& log,
+                                  const CertifyBnbExactOptions& opt = {});
+
+}  // namespace nd::analysis

@@ -1,0 +1,472 @@
+#include "analysis/exact/certify_lp_exact.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+#include "analysis/exact/envelope.hpp"
+#include "obs/obs.hpp"
+
+namespace nd::analysis {
+
+namespace {
+
+using lp::Sense;
+using lp::VarStatus;
+
+bool finite(double v) { return std::isfinite(v); }
+
+std::string rat_str(const Rat& v) {
+  // Diagnostics show both the exact fraction (truncated if enormous) and a
+  // rounded decimal for the human reader.
+  std::string s = v.to_string();
+  if (s.size() > 40) s = s.substr(0, 37) + "...";
+  return s + " (~" + std::to_string(v.to_double()) + ")";
+}
+
+}  // namespace
+
+bool solve_exact_linear_system(std::vector<std::vector<Rat>> M, std::vector<Rat> rhs,
+                               std::vector<Rat>* x) {
+  const std::size_t k = M.size();
+  x->assign(k, Rat());
+  if (k == 0) return true;
+
+  // Scale each augmented row [M_i | rhs_i] to integers: multiply by the lcm
+  // of the denominators (a power of two whenever the data came from doubles,
+  // so this is cheap shifts in the common case).
+  std::vector<std::vector<BigInt>> aug(k, std::vector<BigInt>(k + 1));
+  for (std::size_t i = 0; i < k; ++i) {
+    BigInt lcm(1);
+    auto fold = [&lcm](const Rat& e) {
+      const BigInt& d = e.den();
+      lcm = BigInt::div_exact(lcm, BigInt::gcd(lcm, d)) * d;
+    };
+    for (const Rat& e : M[i]) fold(e);
+    fold(rhs[i]);
+    for (std::size_t j = 0; j < k; ++j) {
+      aug[i][j] = M[i][j].num() * BigInt::div_exact(lcm, M[i][j].den());
+    }
+    aug[i][k] = rhs[i].num() * BigInt::div_exact(lcm, rhs[i].den());
+  }
+
+  // Fraction-free (Bareiss) forward elimination with row pivoting. Every
+  // division is exact by the Sylvester identity; div_exact throws if not,
+  // which would flag a logic error rather than silently losing precision.
+  BigInt prev(1);
+  for (std::size_t t = 0; t + 1 <= k; ++t) {
+    std::size_t piv = t;
+    while (piv < k && aug[piv][t].is_zero()) ++piv;
+    if (piv == k) return false;  // singular
+    if (piv != t) std::swap(aug[piv], aug[t]);
+    for (std::size_t i = t + 1; i < k; ++i) {
+      for (std::size_t j = t + 1; j <= k; ++j) {
+        aug[i][j] =
+            BigInt::div_exact(aug[t][t] * aug[i][j] - aug[i][t] * aug[t][j], prev);
+      }
+      aug[i][t] = BigInt();
+    }
+    prev = aug[t][t];
+  }
+
+  // Integer back-substitution via Cramer: with d the final pivot (the
+  // determinant of the permuted scaled matrix, up to sign), p_i = d·x_i is an
+  // integer and (d·rhs_i − Σ_{j>i} U_ij·p_j) is exactly divisible by U_ii.
+  const BigInt d = aug[k - 1][k - 1];
+  std::vector<BigInt> pvec(k);
+  for (std::size_t i = k; i-- > 0;) {
+    BigInt s = d * aug[i][k];
+    for (std::size_t j = i + 1; j < k; ++j) s -= aug[i][j] * pvec[j];
+    pvec[i] = BigInt::div_exact(s, aug[i][i]);
+    (*x)[i] = Rat(pvec[i], d);
+  }
+  return true;
+}
+
+bool exact_safe_dual_bound(const lp::Problem& p, const std::vector<double>& y,
+                           Rat* bound) {
+  const std::size_t n = static_cast<std::size_t>(p.num_vars());
+  const std::size_t m = static_cast<std::size_t>(p.num_rows());
+  if (y.size() != m) return false;
+
+  // Sign-project the duals so yᵀ(Ax − b) ≤ 0 holds for every feasible x
+  // regardless of what the caller handed us.
+  std::vector<Rat> ys(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (!finite(y[r])) return false;
+    Rat yr{y[r]};
+    const Sense s = p.row(static_cast<int>(r)).sense;
+    if ((s == Sense::LE && yr.sign() > 0) || (s == Sense::GE && yr.sign() < 0)) {
+      yr = Rat(0);
+    }
+    ys[r] = std::move(yr);
+  }
+
+  // d = c − Aᵀy, exactly.
+  std::vector<Rat> d(n);
+  for (std::size_t j = 0; j < n; ++j) d[j] = Rat(p.obj(static_cast<int>(j)));
+  for (std::size_t r = 0; r < m; ++r) {
+    if (ys[r].is_zero()) continue;
+    for (const auto& [j, v] : p.row(static_cast<int>(r)).coef) {
+      d[static_cast<std::size_t>(j)] -= Rat(v) * ys[r];
+    }
+  }
+
+  // bound = yᵀb + Σ_j min over the box of d_j·x_j.
+  Rat b;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (!ys[r].is_zero()) b += ys[r] * Rat(p.row(static_cast<int>(r)).rhs);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const int sgn = d[j].sign();
+    if (sgn == 0) continue;
+    const double bnd = sgn > 0 ? p.lo(static_cast<int>(j)) : p.hi(static_cast<int>(j));
+    if (!finite(bnd)) return false;  // min is −∞: no valid bound from this y
+    b += d[j] * Rat(bnd);
+  }
+  *bound = std::move(b);
+  return true;
+}
+
+bool exact_farkas_proves(const lp::Problem& p, const std::vector<double>& ray,
+                         std::string* why) {
+  const std::size_t n = static_cast<std::size_t>(p.num_vars());
+  const std::size_t m = static_cast<std::size_t>(p.num_rows());
+  auto fail = [why](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+  if (ray.size() != m) return fail("ray length != row count");
+
+  // Writing each row as aᵀx + s = b with the slack bounded by the sense, any
+  // feasible x satisfies (Aᵀy)ᵀx + Σ_r y_r s_r = yᵀb. The ray proves
+  // infeasibility iff the exact box-supremum of the left side is strictly
+  // below yᵀb. A wrong-signed component makes the slack supremum +∞, so those
+  // are projected to zero first — the check is self-contained, so it remains
+  // sound for ANY vector, and float engines routinely leave sign noise at
+  // roundoff scale that a tolerance would have hidden.
+  std::vector<Rat> yr(m);
+  Rat ytb;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (!finite(ray[r])) return fail("non-finite ray component");
+    yr[r] = Rat(ray[r]);
+    const Sense s = p.row(static_cast<int>(r)).sense;
+    if ((s == Sense::LE && yr[r].sign() > 0) || (s == Sense::GE && yr[r].sign() < 0)) {
+      yr[r] = Rat();
+      continue;
+    }
+    ytb += yr[r] * Rat(p.row(static_cast<int>(r)).rhs);
+  }
+
+  std::vector<Rat> w(n);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (yr[r].is_zero()) continue;
+    for (const auto& [j, v] : p.row(static_cast<int>(r)).coef) {
+      w[static_cast<std::size_t>(j)] += Rat(v) * yr[r];
+    }
+  }
+
+  Rat boxsup;
+  for (std::size_t j = 0; j < n; ++j) {
+    const int sgn = w[j].sign();
+    if (sgn == 0) continue;
+    const double bnd = sgn > 0 ? p.hi(static_cast<int>(j)) : p.lo(static_cast<int>(j));
+    if (!finite(bnd)) {
+      return fail("var " + std::to_string(j) + ": box supremum is +inf");
+    }
+    boxsup += w[j] * Rat(bnd);
+  }
+
+  if (boxsup >= ytb) {
+    return fail("box supremum " + rat_str(boxsup) + " does not fall strictly below y'b " +
+                rat_str(ytb));
+  }
+  return true;
+}
+
+ExactLpOutcome certify_lp_exact(const lp::Problem& p, const lp::Certificate& cert) {
+  ExactLpOutcome out;
+  Report& rep = out.report;
+  const std::size_t n = static_cast<std::size_t>(p.num_vars());
+  const std::size_t m = static_cast<std::size_t>(p.num_rows());
+  ND_OBS_COUNT("exact.lp_checked", 1);
+
+  if (cert.status == lp::SolveStatus::kInfeasible) {
+    if (cert.farkas.size() != m) {
+      rep.add(Severity::kError, codes::kLpExactShape, "farkas",
+              "Farkas ray has " + std::to_string(cert.farkas.size()) + " components, expected " +
+                  std::to_string(m));
+      return out;
+    }
+    std::string why;
+    out.farkas_proved = exact_farkas_proves(p, cert.farkas, &why);
+    if (!out.farkas_proved) {
+      rep.add(Severity::kError, codes::kLpExactFarkas, "farkas",
+              "ray does not prove infeasibility exactly: " + why);
+    }
+    return out;
+  }
+  if (cert.status != lp::SolveStatus::kOptimal) {
+    rep.add(Severity::kError, codes::kLpExactShape, "status",
+            std::string("certificate status '") + lp::to_string(cert.status) +
+                "' carries no exactly provable claim");
+    return out;
+  }
+
+  // ---- shape ---------------------------------------------------------------
+  bool shape = true;
+  auto shape_err = [&](const std::string& subject, const std::string& msg) {
+    rep.add(Severity::kError, codes::kLpExactShape, subject, msg);
+    shape = false;
+  };
+  if (cert.x.size() != n) shape_err("x", "claimed point has wrong length");
+  if (cert.y.size() != m) shape_err("y", "claimed duals have wrong length");
+  if (cert.vstat.size() != n) shape_err("vstat", "variable statuses have wrong length");
+  if (!cert.basis_shape_ok(n, m)) {
+    shape_err("basis", "basis is not a valid partition (size, range or duplicate defect)");
+  }
+  if (!shape) return out;
+
+  // ---- basis consistency ---------------------------------------------------
+  const std::vector<std::size_t> J = cert.structural_basics(n);
+  const std::vector<std::size_t> T = cert.tight_rows(n);
+  if (J.size() != T.size()) {
+    rep.add(Severity::kError, codes::kLpExactBasis, "basis",
+            "structural basics (" + std::to_string(J.size()) + ") != tight rows (" +
+                std::to_string(T.size()) + ")");
+    return out;
+  }
+  std::vector<char> is_basic(n, 0);
+  for (const std::size_t j : J) is_basic[j] = 1;
+  bool basis_ok = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    const bool claims_basic = cert.vstat[j] == VarStatus::kBasic;
+    if (claims_basic != (is_basic[j] != 0)) {
+      rep.add(Severity::kError, codes::kLpExactBasis, p.name(static_cast<int>(j)),
+              "vstat disagrees with the basis vector about whether the variable is basic");
+      basis_ok = false;
+    }
+    if (!claims_basic) {
+      const double bnd = cert.vstat[j] == VarStatus::kAtLower  // fp-exact: enum compare
+                             ? p.lo(static_cast<int>(j))
+                             : p.hi(static_cast<int>(j));
+      if (!finite(bnd)) {
+        rep.add(Severity::kError, codes::kLpExactBasis, p.name(static_cast<int>(j)),
+                "nonbasic variable rests at an infinite bound");
+        basis_ok = false;
+      }
+    }
+  }
+
+  // The safe dual bound needs none of the above — compute it regardless, so
+  // the B&B replay can still bound nodes whose certificates are imperfect.
+  Rat safe;
+  out.has_safe_bound = exact_safe_dual_bound(p, cert.y, &safe);
+  if (out.has_safe_bound) out.safe_lower_bound = safe;
+
+  if (!basis_ok) return out;
+
+  // ---- exact basic solution ------------------------------------------------
+  // Nonbasic structurals rest on their vstat bound; the tight-row core
+  // A[T,J]·x_J = b_T − A[T,N]·x_N determines the basics.
+  const std::size_t k = J.size();
+  std::vector<Rat> xN(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (is_basic[j]) continue;
+    xN[j] = Rat(cert.vstat[j] == VarStatus::kAtLower ? p.lo(static_cast<int>(j))
+                                                     : p.hi(static_cast<int>(j)));
+  }
+  std::vector<std::size_t> col_of(n, k);
+  for (std::size_t a = 0; a < k; ++a) col_of[J[a]] = a;
+
+  std::vector<std::vector<Rat>> M(k, std::vector<Rat>(k));
+  std::vector<Rat> rhs(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    const int r = static_cast<int>(T[a]);
+    rhs[a] = Rat(p.row(r).rhs);
+    for (const auto& [j, v] : p.row(r).coef) {
+      const std::size_t js = static_cast<std::size_t>(j);
+      if (is_basic[js]) {
+        M[a][col_of[js]] += Rat(v);
+      } else {
+        rhs[a] -= Rat(v) * xN[js];
+      }
+    }
+  }
+
+  std::vector<Rat> xJ;
+  if (!solve_exact_linear_system(M, rhs, &xJ)) {
+    rep.add(Severity::kError, codes::kLpExactBasis, "basis",
+            "basis matrix is exactly singular");
+    return out;
+  }
+  out.basis_solved = true;
+
+  out.exact_x.assign(n, Rat());
+  for (std::size_t j = 0; j < n; ++j) out.exact_x[j] = xN[j];
+  for (std::size_t a = 0; a < k; ++a) out.exact_x[J[a]] = xJ[a];
+
+  // ---- exact primal feasibility (zero tolerance; honest engines can stop
+  // at a marginally infeasible basis, so violations are warnings that carry
+  // the exact magnitude) -----------------------------------------------------
+  out.primal_exact_feasible = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lo = p.lo(static_cast<int>(j)), hi = p.hi(static_cast<int>(j));
+    if (finite(lo) && out.exact_x[j] < Rat(lo)) {
+      out.primal_exact_feasible = false;
+      rep.add(Severity::kWarning, codes::kLpExactPrimal, p.name(static_cast<int>(j)),
+              "exact basic value undershoots lo by " + rat_str(Rat(lo) - out.exact_x[j]));
+    }
+    if (finite(hi) && out.exact_x[j] > Rat(hi)) {
+      out.primal_exact_feasible = false;
+      rep.add(Severity::kWarning, codes::kLpExactPrimal, p.name(static_cast<int>(j)),
+              "exact basic value overshoots hi by " + rat_str(out.exact_x[j] - Rat(hi)));
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    Rat lhs;
+    for (const auto& [j, v] : p.row(static_cast<int>(r)).coef) {
+      lhs += Rat(v) * out.exact_x[static_cast<std::size_t>(j)];
+    }
+    const Rat b{p.row(static_cast<int>(r)).rhs};
+    const Sense s = p.row(static_cast<int>(r)).sense;
+    const bool bad = (s == Sense::LE && lhs > b) || (s == Sense::GE && lhs < b) ||
+                     (s == Sense::EQ && lhs != b);
+    if (bad) {
+      out.primal_exact_feasible = false;
+      rep.add(Severity::kWarning, codes::kLpExactPrimal, "row " + std::to_string(r),
+              "exact row activity violates the sense by " + rat_str((lhs - b).abs()));
+    }
+  }
+
+  // ---- exact duals ---------------------------------------------------------
+  // y is zero on rows whose slack is basic; on tight rows it solves
+  // A[T,J]ᵀ·y_T = c_J (the reduced cost of every basic column is zero).
+  std::vector<std::vector<Rat>> Mt(k, std::vector<Rat>(k));
+  std::vector<Rat> cJ(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b2 = 0; b2 < k; ++b2) Mt[b2][a] = M[a][b2];
+    cJ[a] = Rat(p.obj(static_cast<int>(J[a])));
+  }
+  std::vector<Rat> yT;
+  if (!solve_exact_linear_system(Mt, cJ, &yT)) {
+    rep.add(Severity::kError, codes::kLpExactBasis, "basis",
+            "basis matrix is exactly singular (dual system)");
+    return out;
+  }
+  out.exact_y.assign(m, Rat());
+  for (std::size_t a = 0; a < k; ++a) out.exact_y[T[a]] = yT[a];
+
+  out.exact_d.assign(n, Rat());
+  for (std::size_t j = 0; j < n; ++j) out.exact_d[j] = Rat(p.obj(static_cast<int>(j)));
+  for (std::size_t r = 0; r < m; ++r) {
+    if (out.exact_y[r].is_zero()) continue;
+    for (const auto& [j, v] : p.row(static_cast<int>(r)).coef) {
+      out.exact_d[static_cast<std::size_t>(j)] -= Rat(v) * out.exact_y[r];
+    }
+  }
+  for (const std::size_t j : J) {
+    if (!out.exact_d[j].is_zero()) {
+      rep.add(Severity::kError, codes::kLpExactBasis, p.name(static_cast<int>(j)),
+              "internal: reduced cost of a basic column is not exactly zero");
+      return out;
+    }
+  }
+
+  out.dual_exact_feasible = true;
+  for (std::size_t r = 0; r < m; ++r) {
+    const Sense s = p.row(static_cast<int>(r)).sense;
+    const bool bad = (s == Sense::LE && out.exact_y[r].sign() > 0) ||
+                     (s == Sense::GE && out.exact_y[r].sign() < 0);
+    if (bad) {
+      out.dual_exact_feasible = false;
+      rep.add(Severity::kWarning, codes::kLpExactDual, "row " + std::to_string(r),
+              "exact basis dual has the wrong sign for the row sense: " +
+                  rat_str(out.exact_y[r]));
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (is_basic[j]) continue;
+    const double lo = p.lo(static_cast<int>(j)), hi = p.hi(static_cast<int>(j));
+    if (finite(lo) && finite(hi) && Rat(lo) == Rat(hi)) continue;  // fixed: any sign
+    const bool at_lower = cert.vstat[j] == VarStatus::kAtLower;
+    const bool bad = at_lower ? out.exact_d[j].sign() < 0 : out.exact_d[j].sign() > 0;
+    if (bad) {
+      out.dual_exact_feasible = false;
+      rep.add(Severity::kWarning, codes::kLpExactDual, p.name(static_cast<int>(j)),
+              std::string("exact reduced cost has the wrong sign for a nonbasic-at-") +
+                  (at_lower ? "lower" : "upper") + " variable: " + rat_str(out.exact_d[j]));
+    }
+  }
+  out.exactly_optimal = out.primal_exact_feasible && out.dual_exact_feasible;
+
+  // ---- objectives ----------------------------------------------------------
+  Rat pobj;
+  for (std::size_t j = 0; j < n; ++j) {
+    pobj += Rat(p.obj(static_cast<int>(j))) * out.exact_x[j];
+  }
+  out.exact_objective = pobj;
+
+  // Strong duality holds identically for a basis solution; a mismatch means
+  // the solve above is wrong, never the certificate.
+  Rat dobj;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (!out.exact_y[r].is_zero()) dobj += out.exact_y[r] * Rat(p.row(static_cast<int>(r)).rhs);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!is_basic[j] && !out.exact_d[j].is_zero()) dobj += out.exact_d[j] * out.exact_x[j];
+  }
+  if (dobj != pobj) {
+    rep.add(Severity::kError, codes::kLpExactBasis, "duality",
+            "internal: exact primal and dual objectives of the basis disagree");
+    return out;
+  }
+
+  // ---- claim envelopes -----------------------------------------------------
+  const std::size_t terms = n + m;
+  const Rat obj_env = claim_envelope(terms, Rat(1) + pobj.abs());
+  const Rat obj_drift = (Rat(cert.obj) - pobj).abs();
+  if (obj_drift > obj_env) {
+    rep.add(Severity::kError, codes::kLpExactObjective, "objective",
+            "claimed objective drifts " + rat_str(obj_drift) +
+                " from the exact basis objective " + rat_str(pobj) +
+                ", outside the derived envelope " + rat_str(obj_env));
+  }
+
+  Rat ymax;
+  for (std::size_t r = 0; r < m; ++r) ymax = Rat::max(ymax, out.exact_y[r].abs());
+  const Rat y_env = claim_envelope(terms, Rat(1) + ymax);
+  Rat worst_y;
+  std::size_t worst_yr = m;
+  for (std::size_t r = 0; r < m; ++r) {
+    const Rat drift = (Rat(cert.y[r]) - out.exact_y[r]).abs();
+    if (drift > worst_y) {
+      worst_y = drift;
+      worst_yr = r;
+    }
+  }
+  if (worst_yr != m && worst_y > y_env) {
+    rep.add(Severity::kError, codes::kLpExactDualDrift, "row " + std::to_string(worst_yr),
+            "claimed dual drifts " + rat_str(worst_y) + " from the exact basis dual, outside " +
+                "the derived envelope " + rat_str(y_env));
+  }
+
+  Rat worst_x;
+  std::size_t worst_xj = n;
+  for (std::size_t j = 0; j < n; ++j) {
+    const Rat drift = (Rat(cert.x[j]) - out.exact_x[j]).abs();
+    if (drift > worst_x) {
+      worst_x = drift;
+      worst_xj = j;
+    }
+  }
+  if (worst_xj != n && !worst_x.is_zero()) {
+    rep.add(Severity::kInfo, codes::kLpExactVertex, p.name(static_cast<int>(worst_xj)),
+            "claimed point drifts " + rat_str(worst_x) +
+                " from the exact basic solution (engine residual; informational)");
+  }
+
+  return out;
+}
+
+}  // namespace nd::analysis

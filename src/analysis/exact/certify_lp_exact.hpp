@@ -1,0 +1,88 @@
+// Exact-rational LP certificate re-checker.
+//
+// Where analysis/certify_lp re-verifies a certificate in floating point with
+// epsilon tolerances, this checker reconstructs the claimed basis and solves
+// the basis system in exact rational arithmetic (fraction-free Bareiss
+// elimination over the dyadic problem data), then proves — with zero
+// tolerance — primal feasibility of the exact basic solution, dual
+// feasibility of the exact basis duals, complementary slackness and strong
+// duality, both of which hold by construction for a basis solution and are
+// asserted as internal consistency.
+//
+// What cannot be zero-tolerance is comparing the engine's *claimed* float
+// numbers (objective, duals) against the exact values: an honest engine
+// rounds. Those comparisons use the derived envelope of exact/envelope.hpp —
+// a function of problem size and magnitude only, with no tunable knobs.
+// Severity policy:
+//   * malformed/singular basis, claimed objective or claimed duals outside
+//     the envelope, failed Farkas proof          → error
+//   * exact vertex slightly primal- or dual-infeasible (the float engine
+//     stopped at a not-exactly-optimal basis)    → warning, with the exact
+//     violation magnitude; `exactly_optimal` records it
+//
+// Independent of the basis solve, `exact_safe_dual_bound` turns ANY float
+// dual vector into an unconditionally valid exact lower bound on the LP
+// optimum (Neumaier/Shcherbina safe bounding: wrong-signed duals are
+// projected to zero, d = c − Aᵀy is computed exactly, and the bound is
+// yᵀb + Σ_j min(d_j·lo_j, d_j·hi_j)). This is the workhorse of the exact
+// B&B replay — it needs no basis and no division.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/exact/rat.hpp"
+#include "lp/certificate.hpp"
+#include "lp/problem.hpp"
+
+namespace nd::analysis {
+
+struct ExactLpOutcome {
+  Report report;
+
+  // kOptimal path: did the basis system solve, and is the exact basic
+  // solution exactly primal- and dual-feasible (= exactly optimal)?
+  bool basis_solved = false;
+  bool primal_exact_feasible = false;
+  bool dual_exact_feasible = false;
+  bool exactly_optimal = false;
+  Rat exact_objective;          ///< cᵀx of the exact basic solution
+  std::vector<Rat> exact_x;     ///< exact structural values [n]
+  std::vector<Rat> exact_y;     ///< exact row duals [m]
+  std::vector<Rat> exact_d;     ///< exact reduced costs [n]
+
+  // Safe dual bound derived from the certificate's float duals (kOptimal)
+  // — valid even when the basis is not exactly optimal.
+  bool has_safe_bound = false;
+  Rat safe_lower_bound;
+
+  // kInfeasible path: did the Farkas ray prove infeasibility exactly?
+  bool farkas_proved = false;
+
+  [[nodiscard]] bool accepted() const { return report.num_errors() == 0; }
+};
+
+/// Re-check `cert` against `p` in exact rational arithmetic.
+ExactLpOutcome certify_lp_exact(const lp::Problem& p, const lp::Certificate& cert);
+
+/// Safe lower bound on min cᵀx from an arbitrary float dual vector `y` [m].
+/// Wrong-signed components (y > 0 on LE rows, y < 0 on GE rows) are projected
+/// to zero so the bound is valid for ANY input. Returns false (no bound) only
+/// when some nonzero exact reduced cost meets an infinite variable bound.
+bool exact_safe_dual_bound(const lp::Problem& p, const std::vector<double>& y,
+                           Rat* bound);
+
+/// Exact Farkas infeasibility proof: true iff the (sign-projected) ray
+/// strictly separates — the box-maximum of (Aᵀy)ᵀx plus the slack suprema is
+/// strictly below yᵀb. On failure `why` (optional) describes the defect.
+bool exact_farkas_proves(const lp::Problem& p, const std::vector<double>& ray,
+                         std::string* why = nullptr);
+
+/// Solve the square rational system M·x = rhs by fraction-free (Bareiss)
+/// Gaussian elimination with exact integer back-substitution. Returns false
+/// when M is singular. Exposed for tests.
+bool solve_exact_linear_system(std::vector<std::vector<Rat>> M, std::vector<Rat> rhs,
+                               std::vector<Rat>* x);
+
+}  // namespace nd::analysis

@@ -1,0 +1,69 @@
+// Simulator-independent static deployment verifier in exact arithmetic.
+//
+// Given a problem and a solution, proves — without trusting the event
+// simulator or any floating-point comparison — that the deployment decisions
+// (assignment, duplication, V/F levels, per-processor order, path choices)
+// simultaneously satisfy the paper's constraints:
+//
+//   * Deadline/horizon: an exact earliest-start longest-path analysis over
+//     the active task DAG (dependency edges weighted by the exact NoC
+//     communication times, plus the same-processor order implied by the
+//     claimed starts) yields a witness schedule; its exact makespan must fit
+//     the horizon and every exact computation time its task deadline. This
+//     proves the *order* schedulable rather than re-checking the claimed
+//     float times, which an honest engine rounds.
+//   * Reliability: r_il = exp(−λ_l·C_i/f_l) with λ_l = λ0·10^{g(l)} is
+//     transcendental; the verifier brackets it with adaptive-precision
+//     dyadic interval enclosures (rigorous Taylor tails for exp/atanh, exact
+//     integer comparisons against the rational threshold) and refines until
+//     the comparison against R_th is decided. By Lindemann–Weierstrass the
+//     compared quantities are never exactly equal, so refinement terminates;
+//     hitting the precision cap is reported as an error, never silently
+//     accepted.
+//   * Energy: per-processor computation + communication energy is aggregated
+//     exactly over the V/F-table and mesh share data (those per-unit values
+//     are the model's ground truth); the claimed bottleneck-energy objective
+//     must match within the derived envelope of exact/envelope.hpp.
+//   * Routing: every used path is re-walked hop by hop (endpoints,
+//     neighbour-contiguity, per-hop latency sum vs the table's total).
+//
+// A link-contention serialization bound (every transfer crossing a directed
+// link waits for all others) is reported as info/warning only: the paper's
+// model — like the MILP and the float validator — is contention-free, so a
+// failure of the pessimistic bound is not a constraint violation.
+#pragma once
+
+#include <limits>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/exact/rat.hpp"
+#include "deploy/problem.hpp"
+#include "deploy/solution.hpp"
+
+namespace nd::analysis {
+
+struct VerifyDeploymentOptions {
+  /// Claimed bottleneck-energy objective to verify against the exact value;
+  /// NaN (the default) skips the claim check.
+  double claimed_be = std::numeric_limits<double>::quiet_NaN();
+  /// Also evaluate the pessimistic link-contention bound (info/warning).
+  bool contention = true;
+};
+
+struct VerifyDeploymentOutcome {
+  Report report;
+  bool schedule_proved = false;     ///< exact ES schedule fits horizon + deadlines
+  bool reliability_proved = false;  ///< every original task decided ≥ R_th
+  bool energy_exact = false;        ///< claimed BE inside the derived envelope
+  Rat exact_makespan;               ///< makespan of the exact witness schedule
+  Rat exact_be;                     ///< exact bottleneck energy [J]
+  Rat exact_me;                     ///< exact total energy [J]
+
+  [[nodiscard]] bool accepted() const { return report.num_errors() == 0; }
+};
+
+VerifyDeploymentOutcome verify_deployment(const deploy::DeploymentProblem& p,
+                                          const deploy::DeploymentSolution& s,
+                                          const VerifyDeploymentOptions& opt = {});
+
+}  // namespace nd::analysis

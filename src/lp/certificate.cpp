@@ -22,6 +22,66 @@ std::vector<double> vec_from_json(const json::Value& v) {
 
 }  // namespace
 
+bool Certificate::basis_shape_ok(std::size_t n, std::size_t m) const {
+  // Columns in [n+m, n+2m) are phase-1 artificials. A degenerate solve can
+  // legitimately leave an artificial basic at value zero, and the engine
+  // copies its basis verbatim, so they are part of the valid range.
+  if (basis.size() != m) return false;
+  std::vector<char> seen(n + 2 * m, 0);
+  for (const int b : basis) {
+    if (b < 0 || static_cast<std::size_t>(b) >= n + 2 * m) return false;
+    if (seen[static_cast<std::size_t>(b)]) return false;
+    seen[static_cast<std::size_t>(b)] = 1;
+  }
+  return true;
+}
+
+std::vector<std::size_t> Certificate::tight_rows(std::size_t n) const {
+  // A row is tight when no basic column is its slack: eliminating the unit
+  // slack columns from the m-by-m basis matrix deletes exactly the rows whose
+  // slack is basic, leaving the square structural core over the tight rows.
+  // A basic ARTIFICIAL (column n+m+r) is the same unit column e_r with zero
+  // cost, so its row leaves the core the same way; if slack r and artificial
+  // r were ever both basic the basis matrix would repeat a column, and the
+  // resulting |tight| > |structural basics| mismatch is caught downstream.
+  const std::size_t m = basis.size();
+  std::vector<char> slack_basic(m, 0);
+  for (const int b : basis) {
+    if (b >= 0 && static_cast<std::size_t>(b) >= n) {
+      std::size_t rp = static_cast<std::size_t>(b) - n;
+      if (rp >= m) rp -= m;
+      if (rp < m) slack_basic[rp] = 1;
+    }
+  }
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (!slack_basic[r]) rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<std::size_t> Certificate::structural_basics(std::size_t n) const {
+  std::vector<std::size_t> cols;
+  for (const int b : basis) {
+    if (b >= 0 && static_cast<std::size_t>(b) < n) cols.push_back(static_cast<std::size_t>(b));
+  }
+  return cols;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Certificate::basic_slack_rows(
+    std::size_t n) const {
+  const std::size_t m = basis.size();
+  std::vector<std::pair<std::size_t, std::size_t>> rows;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] >= 0 && static_cast<std::size_t>(basis[r]) >= n) {
+      std::size_t rp = static_cast<std::size_t>(basis[r]) - n;
+      if (rp >= m) rp -= m;  // basic artificial: same unit column, zero dual
+      rows.emplace_back(r, rp);
+    }
+  }
+  return rows;
+}
+
 json::Value certificate_to_json(const Certificate& cert) {
   json::Object o;
   o.emplace_back("status", to_string(cert.status));

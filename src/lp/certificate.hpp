@@ -20,6 +20,8 @@
 // with pivot count.
 #pragma once
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/json.hpp"
@@ -34,7 +36,9 @@ struct Certificate {
   std::vector<double> y;         ///< row duals [m] (kOptimal)
   std::vector<double> d;         ///< claimed reduced costs [n] (kOptimal)
   std::vector<VarStatus> vstat;  ///< structural statuses [n] (kOptimal)
-  std::vector<int> basis;        ///< basic column per row [m]; n+r = slack r
+  std::vector<int> basis;        ///< basic column per row [m]; n+r = slack r,
+                                 ///< n+m+r = phase-1 artificial r (degenerate
+                                 ///< bases can keep one basic at value zero)
   std::vector<double> farkas;    ///< infeasibility ray over rows [m]
 
   [[nodiscard]] bool has_optimal_data() const {
@@ -43,6 +47,28 @@ struct Certificate {
   [[nodiscard]] bool has_farkas_ray() const {
     return status == SolveStatus::kInfeasible && !farkas.empty();
   }
+
+  // --- accessors for exact replay (analysis/exact/certify_lp_exact) ---------
+
+  /// True when the basis describes a valid partition for an n-var/m-row
+  /// problem: m entries, each in [0, n+2m) (artificials included), no
+  /// duplicates.
+  [[nodiscard]] bool basis_shape_ok(std::size_t n, std::size_t m) const;
+
+  /// Row indices whose slack is nonbasic ("tight" rows), in row order.
+  /// Together with structural_basics() they name the square basis core the
+  /// exact checker re-solves (|tight rows| == |structural basics| whenever
+  /// basis_shape_ok holds).
+  [[nodiscard]] std::vector<std::size_t> tight_rows(std::size_t n) const;
+
+  /// Structural column indices that are basic, in basis order.
+  [[nodiscard]] std::vector<std::size_t> structural_basics(std::size_t n) const;
+
+  /// Row indices whose basic column is a unit column (slack n+r' or
+  /// artificial n+m+r'), paired with that column's row r'. On such rows the
+  /// dual is structurally zero.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> basic_slack_rows(
+      std::size_t n) const;
 };
 
 /// JSON round-trip for the CLI (`nocdeploy-cli certify --certificate F`).

@@ -44,6 +44,14 @@ void Problem::add_row(const std::vector<std::pair<int, double>>& coef, Sense sen
   add_row(Row{coef, sense, rhs});
 }
 
+void Problem::set_var_bounds(int j, double lo, double hi) {
+  ND_REQUIRE(j >= 0 && j < num_vars(), "set_var_bounds: unknown variable");
+  ND_REQUIRE(lo <= hi, "variable bounds inverted");
+  ND_REQUIRE(std::isfinite(lo) || std::isfinite(hi), "fully free variables unsupported");
+  lo_[static_cast<std::size_t>(j)] = lo;
+  hi_[static_cast<std::size_t>(j)] = hi;
+}
+
 double Problem::objective_value(const std::vector<double>& x) const {
   ND_REQUIRE(x.size() == lo_.size(), "point arity mismatch");
   double v = 0.0;

@@ -40,6 +40,10 @@ class Problem {
   /// Convenience: add `expr <sense> rhs` from parallel index/value arrays.
   void add_row(const std::vector<std::pair<int, double>>& coef, Sense sense, double rhs);
 
+  /// Replace the bounds of variable j (`lo <= hi`, at least one finite).
+  /// Used by the exact B&B replay to materialise a node's sub-problem.
+  void set_var_bounds(int j, double lo, double hi);
+
   [[nodiscard]] int num_vars() const { return static_cast<int>(lo_.size()); }
   [[nodiscard]] int num_rows() const { return static_cast<int>(rows_.size()); }
 

@@ -571,7 +571,13 @@ SolveStatus Simplex::solve() {
     compute_reduced_costs();
     const SolveStatus s1 = primal_loop();
     counters_.phase1_iters += total_iters_ - phase1_start;
-    if (s1 == SolveStatus::kIterLimit) return last_status_ = s1;
+    if (s1 == SolveStatus::kIterLimit) {
+      // Still on the phase-1 objective with artificials open: the tableau is
+      // NOT a phase-2 basis, so a warm dual_resolve() from here would pivot
+      // against the wrong cost vector and report a bogus "optimum".
+      basis_valid_ = false;
+      return last_status_ = s1;
+    }
     ND_ASSERT(s1 != SolveStatus::kUnbounded, "phase-1 objective is bounded below by 0");
     double art_sum = 0.0;
     for (int r = 0; r < m_; ++r) {
@@ -580,7 +586,9 @@ SolveStatus Simplex::solve() {
     }
     if (art_sum > opt_.tol * std::max(1.0, static_cast<double>(m_))) {
       // cost_ still holds the phase-1 objective: extract_certificate() reads
-      // the phase-1 duals as the Farkas ray.
+      // the phase-1 duals as the Farkas ray. As above, this state must not
+      // seed a warm resolve.
+      basis_valid_ = false;
       return last_status_ = SolveStatus::kInfeasible;
     }
   }
@@ -607,6 +615,13 @@ SolveStatus Simplex::dual_resolve() {
     // Numerical trouble: refactor once, then fall back to a cold solve.
     s = rebuild_tableau() ? dual_loop() : SolveStatus::kIterLimit;
     if (s == SolveStatus::kIterLimit) s = solve();
+  } else if (s == SolveStatus::kInfeasible) {
+    // A warm infeasibility verdict rides on the drifted tableau that produced
+    // it: with accumulated roundoff the entering-column test can fail
+    // spuriously and declare a FEASIBLE node LP infeasible (the exact audit
+    // replay caught branch-and-bound doing exactly that). Infeasibility is a
+    // pruning decision, so re-derive it from scratch before reporting it.
+    s = solve();
   }
   if (s == SolveStatus::kOptimal) {
     // Bound changes leave reduced costs intact, so dual feasibility held and

@@ -203,4 +203,38 @@ bool merge_audit_shards(const std::vector<AuditShard>& shards, AuditLog* log) {
   return true;
 }
 
+std::vector<std::pair<double, double>> node_domain(const Model& model, const AuditLog& log,
+                                                   int node_id) {
+  const lp::Problem& lp = model.lp();
+  const std::size_t n = static_cast<std::size_t>(lp.num_vars());
+  std::vector<std::pair<double, double>> dom(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    dom[j] = {lp.lo(static_cast<int>(j)), lp.hi(static_cast<int>(j))};
+  }
+  for (const RootFixing& f : log.root_fixings) {
+    if (f.var >= 0 && static_cast<std::size_t>(f.var) < n) {
+      dom[static_cast<std::size_t>(f.var)] = {f.lo, f.hi};
+    }
+  }
+  // Nearest enclosing branch interval wins per variable, so walk child→root
+  // and only take the first interval seen for each var.
+  std::vector<char> seen(n, 0);
+  for (int cur = node_id; cur > 0;) {
+    if (cur >= static_cast<int>(log.nodes.size())) {
+      throw std::invalid_argument("node_domain: node id out of range");
+    }
+    const AuditNode& nd = log.nodes[static_cast<std::size_t>(cur)];
+    if (nd.var >= 0 && static_cast<std::size_t>(nd.var) < n &&
+        !seen[static_cast<std::size_t>(nd.var)]) {
+      seen[static_cast<std::size_t>(nd.var)] = 1;
+      dom[static_cast<std::size_t>(nd.var)] = {nd.lo, nd.hi};
+    }
+    if (nd.parent >= cur) {
+      throw std::invalid_argument("node_domain: parent links must decrease toward the root");
+    }
+    cur = nd.parent;
+  }
+  return dom;
+}
+
 }  // namespace nd::milp

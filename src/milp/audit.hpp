@@ -13,6 +13,7 @@
 // kOptimal is only claimed for a fully disposed tree.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/json.hpp"
@@ -90,6 +91,14 @@ struct AuditLog {
 /// JSON round-trip for the CLI (`nocdeploy-cli certify --audit F`).
 json::Value audit_to_json(const AuditLog& log);
 AuditLog audit_from_json(const json::Value& v);
+
+/// Effective variable domain at a node: the model bounds, overlaid with the
+/// root reduced-cost fixings, overlaid with the nearest enclosing branch
+/// interval per variable on the root-to-node path. Used by the exact audit
+/// replay to re-solve a node's LP. `node_id` must have valid parent links
+/// (parent < id all the way to the root).
+std::vector<std::pair<double, double>> node_domain(const Model& model, const AuditLog& log,
+                                                   int node_id);
 
 /// One worker's slice of a parallel search tree: audit nodes in the order
 /// that worker processed them, each carrying a globally unique, globally

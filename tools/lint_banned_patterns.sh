@@ -12,6 +12,14 @@
 #   4. std::chrono::system_clock in src/ — telemetry and audit timestamps
 #      must be monotonic (obs::now_ns / steady_clock); wall-clock time goes
 #      backwards under NTP and breaks span durations and node timelines.
+#   5. ==/!= on a line that touches `double` inside src/analysis/exact/ —
+#      the proof layer compares in exact rational arithmetic only; a double
+#      equality there silently reintroduces the float tolerances the layer
+#      exists to eliminate. Rat/BigInt/enum comparisons are exact and pass;
+#      the audited I/O boundary carries `fp-exact` (or `rat-io`) to whitelist.
+#   6. float/double state in the Rat/BigInt header — rat.hpp must hold no
+#      floating-point members or locals outside the annotated conversion
+#      boundary; every double there carries a `rat-io` comment or it fails.
 #
 # Exit 0 when clean, 1 with one "file:line: message" per hit otherwise.
 # Run from anywhere: paths resolve relative to the repo root. POSIX sh only —
@@ -51,6 +59,27 @@ report_hits "$hits" "'using namespace std;' in a header leaks into every include
 hits="$(find src -name '*.cpp' -o -name '*.hpp' | sort \
   | xargs grep -n 'system_clock' /dev/null)" || true
 report_hits "$hits" "system_clock is not monotonic; use obs::now_ns() / steady_clock"
+
+# --- 5. double equality inside the exact proof layer -------------------------
+# Any ==/!= on a line that also mentions double/float is suspect there: the
+# whole point of src/analysis/exact/ is that nothing numeric is compared in
+# floating point. Annotated boundary lines (fp-exact / rat-io) pass.
+exact_files="$(find src/analysis/exact -name '*.cpp' -o -name '*.hpp' | sort)"
+hits="$(printf '%s\n' "$exact_files" | xargs grep -nE '==|!=' /dev/null \
+  | grep -E 'double|float' | grep -vE 'fp-exact|rat-io')" || true
+report_hits "$hits" "float comparison in the exact proof layer; compare as Rat or annotate 'fp-exact'"
+
+# --- 6. floating-point state in the exact rational header --------------------
+# rat.hpp must stay free of float/double members and arithmetic: every
+# appearance of a floating-point type there is I/O boundary code and must be
+# annotated 'rat-io' (conversion in/out) so reviewers see the full surface.
+hits="$(awk '{
+    code = $0; sub(/\/\/.*/, "", code)   # prose in comments is fine
+    if ($0 ~ /rat-io|fp-exact/) next
+    if (code ~ /(^|[^_[:alnum:]])(double|float)([^_[:alnum:]]|$)/)
+      print "src/analysis/exact/rat.hpp:" FNR ":" $0
+  }' src/analysis/exact/rat.hpp)" || true
+report_hits "$hits" "floating-point type in rat.hpp outside the annotated 'rat-io' I/O boundary"
 
 if [ "$fail" -eq 0 ]; then
   echo "lint_banned_patterns: clean"

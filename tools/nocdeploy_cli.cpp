@@ -6,10 +6,12 @@
 //   nocdeploy validate --problem prob.json --solution sol.json
 //   nocdeploy simulate --problem prob.json --solution sol.json [--trials 100000]
 //   nocdeploy lint     --problem prob.json [--model] [--json]
-//   nocdeploy certify  --problem prob.json --method optimal|heuristic
+//   nocdeploy certify  --problem prob.json --method optimal|heuristic [--exact]
 //                      [--emit-certificate c.json] [--emit-audit a.json] [-o sol.json]
 //   nocdeploy certify  --problem prob.json --solution sol.json
-//                      [--certificate c.json] [--audit a.json] [--json]
+//                      [--certificate c.json] [--audit a.json] [--exact] [--json]
+//   nocdeploy verify   --problem prob.json --solution sol.json
+//                      [--claimed-be X] [--no-contention] [--json]
 //   nocdeploy crosscheck [--seeds N] [--first-seed S] [--tasks N] [--threads T] [--json]
 //   nocdeploy sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]
 //                      [--time-limit SEC] [-o BENCH_sweep.json] [--json]
@@ -38,6 +40,9 @@
 #include "analysis/certify_bnb.hpp"
 #include "sweep_runner.hpp"
 #include "analysis/certify_lp.hpp"
+#include "analysis/exact/certify_bnb_exact.hpp"
+#include "analysis/exact/certify_lp_exact.hpp"
+#include "analysis/exact/verify_deployment.hpp"
 #include "analysis/crosscheck.hpp"
 #include "analysis/lint_model.hpp"
 #include "analysis/lint_problem.hpp"
@@ -83,11 +88,13 @@ int usage() {
                "  validate --problem P.json --solution S.json\n"
                "  simulate --problem P.json --solution S.json [--trials N]\n"
                "  lint     --problem P.json [--model] [--json]\n"
-               "  certify  --problem P.json --method optimal|heuristic\n"
+               "  certify  --problem P.json --method optimal|heuristic [--exact]\n"
                "           [--time-limit SEC] [--emit-certificate F] [--emit-audit F]\n"
                "           [-o solution.json] [--json]\n"
                "  certify  --problem P.json --solution S.json\n"
-               "           [--certificate F] [--audit F] [--json]\n"
+               "           [--certificate F] [--audit F] [--exact] [--json]\n"
+               "  verify   --problem P.json --solution S.json\n"
+               "           [--claimed-be X] [--no-contention] [--json]\n"
                "  crosscheck [--seeds N] [--first-seed S] [--tasks N] [--rows R]\n"
                "           [--cols C] [--time-limit SEC] [--threads T] [--no-sim] [--json]\n"
                "  sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]\n"
@@ -243,11 +250,22 @@ void certify_deployment(const deploy::DeploymentProblem& p,
   }
 }
 
+/// Exact static verification of one deployment (certify --exact): the claimed
+/// objective is the float evaluator's BE, which the exact aggregation must
+/// reproduce within the derived envelope.
+void verify_deployment_exact(const deploy::DeploymentProblem& p,
+                             const deploy::DeploymentSolution& s, analysis::Report& rep) {
+  analysis::VerifyDeploymentOptions vopt;
+  vopt.claimed_be = deploy::evaluate_energy(p, s).max_proc();
+  rep.merge(analysis::verify_deployment(p, s, vopt).report);
+}
+
 int cmd_certify(const Args& a) {
   if (a.get("problem").empty()) return usage();
   auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
   analysis::Report rep;
   const std::string method = a.get("method");
+  const bool exact = a.flags.count("exact") != 0;
 
   if (method.empty()) {
     // File mode: certify an existing solution (plus optional certificate and
@@ -256,6 +274,7 @@ int cmd_certify(const Args& a) {
     const auto s =
         deploy::solution_from_json(json::parse(deploy::read_file(a.get("solution"))), *p);
     certify_deployment(*p, s, "solution", rep);
+    if (exact) verify_deployment_exact(*p, s, rep);
     const double be = deploy::evaluate_energy(*p, s).max_proc();
     if (!a.get("certificate").empty() || !a.get("audit").empty()) {
       const model::Formulation f(*p);
@@ -263,6 +282,7 @@ int cmd_certify(const Args& a) {
         const auto cert =
             lp::certificate_from_json(json::parse(deploy::read_file(a.get("certificate"))));
         rep.merge(analysis::certify_lp(f.model().lp(), cert));
+        if (exact) rep.merge(analysis::certify_lp_exact(f.model().lp(), cert).report);
         // The root LP relaxation lower-bounds every deployment's BE energy.
         if (cert.status == lp::SolveStatus::kOptimal && be < cert.obj - 1e-6 * (1.0 + cert.obj)) {
           rep.add(analysis::Severity::kError, analysis::codes::kXcheckBeBelowOptimal,
@@ -273,6 +293,7 @@ int cmd_certify(const Args& a) {
         const auto audit =
             milp::audit_from_json(json::parse(deploy::read_file(a.get("audit"))));
         rep.merge(analysis::certify_bnb(f.model(), audit));
+        if (exact) rep.merge(analysis::certify_bnb_exact(f.model(), audit).report);
         if ((audit.status == milp::MipStatus::kOptimal ||
              audit.status == milp::MipStatus::kFeasible) &&
             std::abs(audit.obj - be) > 1e-6 * (1.0 + std::abs(audit.obj))) {
@@ -292,6 +313,7 @@ int cmd_certify(const Args& a) {
       return finish_certify(rep, a);
     }
     certify_deployment(*p, res.solution, "heuristic", rep);
+    if (exact) verify_deployment_exact(*p, res.solution, rep);
     if (!a.get("o").empty()) {
       deploy::write_file(a.get("o"), deploy::solution_to_json(res.solution).dump(2) + "\n");
     }
@@ -318,8 +340,14 @@ int cmd_certify(const Args& a) {
     std::printf("MILP status: %s, nodes %lld, bound %.6f\n", to_string(mip.status),
                 static_cast<long long>(mip.nodes), mip.best_bound);
     rep.merge(analysis::certify_bnb(f.model(), audit));
+    if (exact) {
+      analysis::CertifyBnbExactOptions bopt;
+      bopt.lp_time_limit_s = a.num("exact-lp-budget", bopt.lp_time_limit_s);
+      rep.merge(analysis::certify_bnb_exact(f.model(), audit, bopt).report);
+    }
     if (mip.has_solution()) {
       certify_deployment(*p, f.decode(mip.x), "milp", rep);
+      if (exact) verify_deployment_exact(*p, f.decode(mip.x), rep);
       if (!a.get("o").empty()) {
         deploy::write_file(a.get("o"),
                            deploy::solution_to_json(f.decode(mip.x)).dump(2) + "\n");
@@ -339,6 +367,31 @@ int cmd_certify(const Args& a) {
     return finish_certify(rep, a);
   }
   return usage();
+}
+
+/// Stand-alone exact static verifier: proves schedulability, reliability and
+/// energy of a saved deployment without running the event simulator.
+int cmd_verify(const Args& a) {
+  if (a.get("problem").empty() || a.get("solution").empty()) return usage();
+  auto p = deploy::problem_from_json(json::parse(deploy::read_file(a.get("problem"))));
+  const auto s =
+      deploy::solution_from_json(json::parse(deploy::read_file(a.get("solution"))), *p);
+  analysis::VerifyDeploymentOptions vopt;
+  vopt.claimed_be = a.get("claimed-be").empty()
+                        ? deploy::evaluate_energy(*p, s).max_proc()
+                        : a.num("claimed-be", 0.0);
+  vopt.contention = a.flags.count("no-contention") == 0;
+  const auto out = analysis::verify_deployment(*p, s, vopt);
+  if (a.flags.count("json") != 0) {
+    std::printf("%s\n", out.report.to_json().dump(2).c_str());
+  } else {
+    if (!out.report.empty()) std::printf("%s", out.report.to_table().c_str());
+    std::printf("verify: exact makespan %.6f s (H %.4f s), exact BE %.6f J\n",
+                out.exact_makespan.to_double(), p->horizon(), out.exact_be.to_double());
+    std::printf("verify: %s\n", out.accepted() ? "PROVED" : "REJECTED");
+    std::printf("verify: %s\n", out.report.summary().c_str());
+  }
+  return out.accepted() ? 0 : 1;
 }
 
 int cmd_crosscheck(const Args& a) {
@@ -484,6 +537,7 @@ int run_command(const Args& a) {
   if (a.command == "simulate") return cmd_simulate(a);
   if (a.command == "lint") return cmd_lint(a);
   if (a.command == "certify") return cmd_certify(a);
+  if (a.command == "verify") return cmd_verify(a);
   if (a.command == "crosscheck") return cmd_crosscheck(a);
   if (a.command == "sweep") return cmd_sweep(a);
   if (a.command == "profile") return cmd_profile(a);
