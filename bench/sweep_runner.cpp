@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "analysis/presolve/instance_presolve.hpp"
 #include "common/stats.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
@@ -19,27 +20,48 @@ struct SolveOut {
   double obj = 0.0;
   std::int64_t nodes = 0;
   milp::MipStatus status = milp::MipStatus::kUnknown;
+  lp::PresolveStats presolve;
 };
 
 /// Generate + heuristic-warm-start + MILP-solve one seeded instance. Always
 /// single-threaded internally, so the serial and pooled phases do the same
 /// work and must reach the same result.
-SolveOut solve_one(const Scale& base, std::uint64_t seed, double time_limit_s) {
+SolveOut solve_one(const Scale& base, std::uint64_t seed, double time_limit_s,
+                   bool presolve) {
   Scale sc = base;
   sc.seed = seed;
   const auto p = make_instance(sc);
   Stopwatch sw;
   const auto warm = heuristic::solve_heuristic(*p);
+  // Built by hand (instead of via model::solve_optimal) so the instance-level
+  // proof-carrying reductions can seed the solver's root presolve.
+  model::Formulation f(*p);
+  std::vector<double> warm_point;
   milp::MipOptions mopt;
   mopt.time_limit_s = time_limit_s;
   mopt.num_threads = 1;
-  const auto res =
-      model::solve_optimal(*p, {}, mopt, warm.feasible ? &warm.solution : nullptr);
+  mopt.presolve = presolve;
+  if (warm.feasible) {
+    warm_point = f.encode(warm.solution);
+    mopt.warm_start = &warm_point;
+  }
+  mopt.completion = [&f](const std::vector<double>& lp_point, std::vector<double>* out) {
+    return f.complete(lp_point, out);
+  };
+  analysis::InstancePresolveResult ipre;
+  if (presolve) {
+    analysis::InstancePresolveOptions iopt;
+    if (warm.feasible) iopt.warm = &warm_point;
+    ipre = analysis::instance_reductions(f, iopt);
+    mopt.instance_reductions = &ipre.log;
+  }
+  const milp::MipResult res = milp::solve(f.model(), mopt);
   SolveOut out;
   out.seconds = sw.seconds();
-  out.status = res.mip.status;
-  if (res.mip.has_solution()) out.obj = res.mip.obj;
-  out.nodes = res.mip.nodes;
+  out.status = res.status;
+  if (res.has_solution()) out.obj = res.obj;
+  out.nodes = res.nodes;
+  out.presolve = res.presolve_stats;
   return out;
 }
 
@@ -73,7 +95,7 @@ SweepResult run_sweep(const SweepOptions& opt) {
   for (int i = 0; i < k; ++i) {
     SweepSeed& s = out.seeds[static_cast<std::size_t>(i)];
     const std::map<std::string, long long> before = obs::counter_totals();
-    const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s);
+    const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s, /*presolve=*/true);
     for (const auto& [name, total] : obs::counter_totals()) {
       const auto it = before.find(name);
       const long long delta = total - (it == before.end() ? 0 : it->second);
@@ -83,23 +105,48 @@ SweepResult run_sweep(const SweepOptions& opt) {
     s.serial_obj = r.obj;
     s.serial_nodes = r.nodes;
     s.serial_status = r.status;
+    s.presolve = r.presolve;
     serial_nodes += r.nodes;
+    out.rows_removed_total += r.presolve.rows_removed;
+    out.cols_removed_total += r.presolve.cols_removed;
     if (opt.verbose) {
-      std::printf("[sweep] serial   seed %llu: %s obj %.6f in %.3f s (%lld nodes)\n",
-                  static_cast<unsigned long long>(s.seed), milp::to_string(r.status),
-                  r.obj, r.seconds, static_cast<long long>(r.nodes));
+      std::printf(
+          "[sweep] serial   seed %llu: %s obj %.6f in %.3f s (%lld nodes, "
+          "-%d rows -%d cols)\n",
+          static_cast<unsigned long long>(s.seed), milp::to_string(r.status), r.obj,
+          r.seconds, static_cast<long long>(r.nodes), r.presolve.rows_removed,
+          r.presolve.cols_removed);
     }
   }
   out.serial_wall_s = serial_sw.seconds();
 
-  // Phase 2: the same K instances fanned out across the pool.
+  // Phase 2: raw-model control — the same seeds with every presolve pass off.
+  // Presolve must be a pure reformulation, so the proved objectives have to
+  // match phase 1; the wall-clock ratio is the presolve speedup.
+  Stopwatch off_sw;
+  for (int i = 0; i < k; ++i) {
+    SweepSeed& s = out.seeds[static_cast<std::size_t>(i)];
+    const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s, /*presolve=*/false);
+    s.presolve_off_s = r.seconds;
+    s.presolve_off_obj = r.obj;
+    s.presolve_off_nodes = r.nodes;
+    s.presolve_off_status = r.status;
+    if (opt.verbose) {
+      std::printf("[sweep] raw      seed %llu: %s obj %.6f in %.3f s (%lld nodes)\n",
+                  static_cast<unsigned long long>(s.seed), milp::to_string(r.status),
+                  r.obj, r.seconds, static_cast<long long>(r.nodes));
+    }
+  }
+  out.presolve_off_wall_s = off_sw.seconds();
+
+  // Phase 3: the same K instances fanned out across the pool.
   std::int64_t parallel_nodes = 0;
   {
     ThreadPool pool(out.threads_used);
     Stopwatch parallel_sw;
     parallel_for(pool, k, [&](int i) {
       SweepSeed& s = out.seeds[static_cast<std::size_t>(i)];
-      const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s);
+      const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s, /*presolve=*/true);
       s.parallel_s = r.seconds;
       s.parallel_obj = r.obj;
       s.parallel_nodes = r.nodes;
@@ -109,22 +156,40 @@ SweepResult run_sweep(const SweepOptions& opt) {
   }
   for (const SweepSeed& s : out.seeds) parallel_nodes += s.parallel_nodes;
 
+  // Two solves are only COMPARABLE when both carry a proof: a run that hit
+  // the time/node cap (kFeasible / kUnknown) stopped at a wall-clock-dependent
+  // tree prefix, so its incumbent is not a statement about the instance. A
+  // capped pair counts as a (vacuous) match — the per-seed statuses stay in
+  // the JSON, so a corpus that keeps capping is still visible.
+  const auto proved = [](milp::MipStatus st) {
+    return st == milp::MipStatus::kOptimal || st == milp::MipStatus::kInfeasible;
+  };
+  const auto agree = [&](milp::MipStatus sa, double oa, milp::MipStatus sb, double ob) {
+    if (!proved(sa) || !proved(sb)) return true;
+    if (sa != sb) return false;
+    return sa != milp::MipStatus::kOptimal ||
+           std::abs(oa - ob) <= 1e-6 * (1.0 + std::abs(oa));
+  };
   for (SweepSeed& s : out.seeds) {
-    s.match = s.serial_status == s.parallel_status &&
-              std::abs(s.serial_obj - s.parallel_obj) <=
-                  1e-6 * (1.0 + std::abs(s.serial_obj));
+    s.match = agree(s.serial_status, s.serial_obj, s.parallel_status, s.parallel_obj);
     if (!s.match) ++out.mismatches;
+    s.presolve_match =
+        agree(s.serial_status, s.serial_obj, s.presolve_off_status, s.presolve_off_obj);
+    if (!s.presolve_match) ++out.presolve_mismatches;
     if (opt.verbose) {
-      std::printf("[sweep] parallel seed %llu: %s obj %.6f in %.3f s — %s\n",
+      std::printf("[sweep] parallel seed %llu: %s obj %.6f in %.3f s — %s, presolve %s\n",
                   static_cast<unsigned long long>(s.seed),
                   milp::to_string(s.parallel_status), s.parallel_obj, s.parallel_s,
-                  s.match ? "match" : "MISMATCH");
+                  s.match ? "match" : "MISMATCH",
+                  s.presolve_match ? "match" : "MISMATCH");
     }
   }
 
   if (own_session) obs::stop();
 
   out.speedup = out.parallel_wall_s > 0.0 ? out.serial_wall_s / out.parallel_wall_s : 0.0;
+  out.presolve_speedup =
+      out.serial_wall_s > 0.0 ? out.presolve_off_wall_s / out.serial_wall_s : 0.0;
   out.serial_nodes_per_s =
       out.serial_wall_s > 0.0 ? static_cast<double>(serial_nodes) / out.serial_wall_s : 0.0;
   out.parallel_nodes_per_s =
@@ -134,12 +199,13 @@ SweepResult run_sweep(const SweepOptions& opt) {
 }
 
 json::Value SweepResult::to_json(const SweepOptions& opt) const {
-  Stats serial_stats, parallel_stats;
+  Stats serial_stats, parallel_stats, off_stats;
   std::int64_t serial_node_total = 0, parallel_node_total = 0;
   json::Array per_seed;
   for (const SweepSeed& s : seeds) {
     serial_stats.add(s.serial_s);
     parallel_stats.add(s.parallel_s);
+    off_stats.add(s.presolve_off_s);
     serial_node_total += s.serial_nodes;
     parallel_node_total += s.parallel_nodes;
     json::Object counters;
@@ -157,11 +223,26 @@ json::Value SweepResult::to_json(const SweepOptions& opt) const {
         {"serial_status", milp::to_string(s.serial_status)},
         {"parallel_status", milp::to_string(s.parallel_status)},
         {"match", s.match},
+        {"presolve_off_s", s.presolve_off_s},
+        {"presolve_off_obj", s.presolve_off_obj},
+        {"presolve_off_nodes", s.presolve_off_nodes},
+        {"presolve_off_status", milp::to_string(s.presolve_off_status)},
+        {"presolve_match", s.presolve_match},
+        {"presolve",
+         json::Object{{"rows_removed", s.presolve.rows_removed},
+                      {"cols_removed", s.presolve.cols_removed},
+                      {"cols_pinned", s.presolve.cols_pinned},
+                      {"nonzeros_removed",
+                       static_cast<std::int64_t>(s.presolve.nonzeros_removed)},
+                      {"bound_tightenings", s.presolve.bound_tightenings},
+                      {"coef_tightenings", s.presolve.coef_tightenings},
+                      {"fixings", s.presolve.fixings},
+                      {"rounds", s.presolve.rounds}}},
         {"counters", std::move(counters)},
     });
   }
   return json::Object{
-      {"schema", "nocdeploy-sweep/2"},
+      {"schema", "nocdeploy-sweep/3"},
       {"config",
        json::Object{{"seeds", opt.seeds},
                     {"first_seed", static_cast<std::int64_t>(opt.first_seed)},
@@ -179,8 +260,14 @@ json::Value SweepResult::to_json(const SweepOptions& opt) const {
                                 {"nodes", parallel_node_total},
                                 {"nodes_per_s", parallel_nodes_per_s},
                                 {"seconds_per_seed", stats_json(parallel_stats)}}},
+      {"presolve_off", json::Object{{"wall_clock_s", presolve_off_wall_s},
+                                    {"seconds_per_seed", stats_json(off_stats)}}},
       {"speedup", speedup},
+      {"presolve_speedup", presolve_speedup},
       {"mismatches", mismatches},
+      {"presolve_mismatches", presolve_mismatches},
+      {"rows_removed_total", rows_removed_total},
+      {"cols_removed_total", cols_removed_total},
       {"per_seed", std::move(per_seed)},
   };
 }

@@ -1,15 +1,20 @@
 // Batched seed-sweep benchmark runner.
 //
-// Solves K seeded reduced-scale deployment instances twice: once back to back
-// on the calling thread (the serial baseline) and once fanned out across a
-// common::ThreadPool via parallel_for (one instance per pool task, each MILP
-// solve itself single-threaded so the two phases do identical work). The two
-// phases must prove the same objective for every seed — the sweep doubles as
-// an end-to-end determinism check — and the wall-clock ratio is the speedup
-// the pool delivers on this machine.
+// Solves K seeded reduced-scale deployment instances three times: once back
+// to back on the calling thread (the serial baseline, presolve on), once the
+// same way with the proof-carrying presolve OFF (the raw-model baseline), and
+// once fanned out across a common::ThreadPool via parallel_for (one instance
+// per pool task, each MILP solve itself single-threaded so the phases do
+// identical work). Whenever two phases both PROVE an outcome for a seed, they
+// must prove the same one: serial vs pooled (an end-to-end determinism check)
+// and presolve-on vs presolve-off (presolve is a pure reformulation — a
+// standing presolve regression). Capped runs are not comparable and don't
+// count as mismatches; their statuses are still recorded per seed.
+// The wall-clock ratios are the pool speedup and the presolve speedup on this
+// machine.
 //
 // `nocdeploy-cli sweep` wraps this and writes the result as BENCH_sweep.json
-// (schema "nocdeploy-sweep/2"; see EXPERIMENTS.md for the field reference).
+// (schema "nocdeploy-sweep/3"; see EXPERIMENTS.md for the field reference).
 #pragma once
 
 #include <cstdint>
@@ -28,11 +33,11 @@ struct SweepOptions {
   std::uint64_t first_seed = 1;   ///< instance seeds are first_seed .. first_seed+K-1
   int threads = 0;                ///< pool width; 0 = ThreadPool::default_threads()
   double time_limit_s = 30.0;     ///< wall-clock cap per MILP solve
-  Scale scale = reduced_scale();  ///< instance shape (seed is overridden per run)
+  Scale scale = sweep_scale();    ///< instance shape (seed is overridden per run)
   bool verbose = true;            ///< per-seed progress on stdout
 };
 
-/// One instance's outcome in both phases.
+/// One instance's outcome in all phases.
 struct SweepSeed {
   std::uint64_t seed = 0;
   double serial_s = 0.0, parallel_s = 0.0;       ///< per-solve wall clock
@@ -40,7 +45,19 @@ struct SweepSeed {
   std::int64_t serial_nodes = 0, parallel_nodes = 0;
   milp::MipStatus serial_status = milp::MipStatus::kUnknown;
   milp::MipStatus parallel_status = milp::MipStatus::kUnknown;
-  bool match = false;  ///< same status and (within 1e-6 relative) same objective
+  /// Serial and pooled phases agree: when both carry a proof (optimal /
+  /// infeasible), same status and (within 1e-6 relative) same objective.
+  /// A pair where either run hit the cap is vacuously true — a capped tree
+  /// prefix is wall-clock-dependent, so its incumbent proves nothing.
+  bool match = false;
+  /// Raw-model control solve (presolve off), serial phase only.
+  double presolve_off_s = 0.0;
+  double presolve_off_obj = 0.0;
+  std::int64_t presolve_off_nodes = 0;
+  milp::MipStatus presolve_off_status = milp::MipStatus::kUnknown;
+  bool presolve_match = false;  ///< on/off objectives agree (same gating as `match`)
+  /// Root presolve tallies of the (presolve-on) serial solve.
+  lp::PresolveStats presolve;
   /// Obs counter deltas bracketing this seed's SERIAL solve (the serial phase
   /// runs one instance at a time, so the delta is attributable; the pooled
   /// phase interleaves seeds and gets no per-seed snapshot). Empty when
@@ -54,10 +71,18 @@ struct SweepResult {
   double parallel_wall_s = 0.0;  ///< wall clock of the whole pooled phase
   double speedup = 0.0;          ///< serial_wall_s / parallel_wall_s
   double serial_nodes_per_s = 0.0, parallel_nodes_per_s = 0.0;
-  int mismatches = 0;  ///< seeds whose two phases disagreed (must be 0)
+  int mismatches = 0;  ///< seeds whose serial/pooled phases disagreed (must be 0)
+  /// Presolve regression leg: wall clock of the raw-model serial phase, the
+  /// presolve speedup (off/on), seeds whose on/off objectives disagreed
+  /// (must be 0), and the summed reduction footprint across all seeds.
+  double presolve_off_wall_s = 0.0;
+  double presolve_speedup = 0.0;  ///< presolve_off_wall_s / serial_wall_s
+  int presolve_mismatches = 0;
+  int rows_removed_total = 0;
+  int cols_removed_total = 0;
   std::vector<SweepSeed> seeds;
 
-  /// The BENCH_sweep.json document (schema "nocdeploy-sweep/2").
+  /// The BENCH_sweep.json document (schema "nocdeploy-sweep/3").
   [[nodiscard]] json::Value to_json(const SweepOptions& opt) const;
 };
 

@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "analysis/certify_lp.hpp"
+#include "analysis/presolve/certify_presolve.hpp"
+#include "lp/presolve.hpp"
+#include "milp/presolve.hpp"
 
 namespace nd::analysis {
 
@@ -25,10 +28,10 @@ bool has_proved_status(const milp::AuditLog& log) {
   return log.status == milp::MipStatus::kOptimal || log.status == milp::MipStatus::kInfeasible;
 }
 
-}  // namespace
-
-Report certify_bnb(const milp::Model& model, const milp::AuditLog& log,
-                   const CertifyBnbOptions& opt) {
+/// The tree replay proper, against the model the tree actually searched
+/// (the original model, or the presolve-reduced one).
+Report certify_bnb_tree(const milp::Model& model, const milp::AuditLog& log,
+                        const CertifyBnbOptions& opt) {
   Report rep;
   const double tol = opt.tol;
   const auto& nodes = log.nodes;
@@ -349,6 +352,83 @@ Report certify_bnb(const milp::Model& model, const milp::AuditLog& log,
                 "' despite a replayed incumbent of " + fmt(incumbent));
   }
 
+  return rep;
+}
+
+}  // namespace
+
+Report certify_bnb(const milp::Model& model, const milp::AuditLog& log,
+                   const CertifyBnbOptions& opt) {
+  if (!log.presolved) return certify_bnb_tree(model, log, opt);
+
+  // Presolved audit: every number in the log lives in the reduced space.
+  // Mechanically replay the reduction log (shared code with the solver, so
+  // a faithful log reconstructs a bit-identical reduced model), sanity-check
+  // the claimed shift, then replay the tree against the reduced model. The
+  // reductions THEMSELVES are proved by analysis/presolve's certify_presolve;
+  // this replay only needs the mechanical application to be deterministic.
+  Report rep;
+  {
+    // Re-prove the reduction log itself record by record (float mode; the
+    // exact replayer re-proves it rationally). Mechanical replay below only
+    // needs determinism; THIS is where the reductions' validity is checked.
+    CertifyPresolveOptions po;
+    po.formulation = opt.formulation;
+    rep.merge(certify_presolve(model, log.reductions, po));
+  }
+  const lp::PresolvedLp map = lp::apply_reductions(model.lp(), log.reductions);
+  if (log.presolve_shift != map.obj_shift) {
+    // Shared deterministic code: a faithful log reproduces the shift exactly.
+    rep.add(Severity::kError, codes::kBnbPresolve, "presolve",
+            "claimed objective shift " + fmt(log.presolve_shift) +
+                " != replayed shift " + fmt(map.obj_shift));
+    return rep;
+  }
+  if (map.infeasible) {
+    if (log.status != milp::MipStatus::kInfeasible) {
+      rep.add(Severity::kError, codes::kBnbPresolve, "presolve",
+              std::string("reduction replay proves infeasibility (") + map.infeasible_why +
+                  ") but the audit claims '" + milp::to_string(log.status) + "'");
+    } else if (!log.nodes.empty()) {
+      rep.add(Severity::kError, codes::kBnbPresolve, "presolve",
+              "presolve-infeasible audit must carry an empty tree, has " +
+                  std::to_string(log.nodes.size()) + " node(s)");
+    } else {
+      rep.add(Severity::kInfo, codes::kBnbPresolve, "presolve",
+              std::string("infeasibility proved by the reduction log: ") +
+                  map.infeasible_why);
+    }
+    return rep;
+  }
+  const milp::Model reduced = milp::reduced_model(model, map);
+  if (reduced.num_vars() == 0) {
+    // Fully eliminated model: the claim is decided by inspection of the
+    // surviving (originally-empty) rows, exactly as the solver decided it.
+    bool feasible = true;
+    (void)lp::trivial_certificate(map.reduced, &feasible);
+    if (feasible) {
+      if (log.status != milp::MipStatus::kOptimal || log.obj != 0.0 ||  // fp-exact: solver writes literal 0
+          log.best_bound != 0.0 || !log.x.empty() || !log.nodes.empty()) {  // fp-exact: same
+
+        rep.add(Severity::kError, codes::kBnbPresolve, "presolve",
+                "presolve eliminated every variable feasibly; the audit must claim "
+                "optimal with reduced objective 0, an empty point and an empty tree");
+      }
+    } else if (log.status != milp::MipStatus::kInfeasible || !log.nodes.empty()) {
+      rep.add(Severity::kError, codes::kBnbPresolve, "presolve",
+              "presolve eliminated every variable but left an unsatisfiable row; "
+              "the audit must claim infeasible with an empty tree");
+    }
+    return rep;
+  }
+  rep.add(Severity::kInfo, codes::kBnbPresolve, "presolve",
+          "replaying the tree against the reduced model (" +
+              std::to_string(reduced.num_vars()) + " of " +
+              std::to_string(model.num_vars()) + " vars, " +
+              std::to_string(reduced.num_rows()) + " of " +
+              std::to_string(model.num_rows()) + " rows, " +
+              std::to_string(log.reductions.reductions.size()) + " reductions)");
+  rep.merge(certify_bnb_tree(reduced, log, opt));
   return rep;
 }
 

@@ -29,10 +29,19 @@
 #include "milp/audit.hpp"
 #include "milp/model.hpp"
 
+namespace nd::model {
+class Formulation;
+}
+
 namespace nd::analysis {
 
 struct CertifyBnbOptions {
   double tol = 1e-6;  ///< relative tolerance for bound/objective comparisons
+  /// Deployment formulation behind `model`, when there is one. Needed to
+  /// re-prove instance-tagged presolve reductions (dominance / symmetry) in
+  /// a presolved audit; without it such records fail with
+  /// presolve-needs-instance. Borrowed pointer, not owned.
+  const model::Formulation* formulation = nullptr;
 };
 
 /// Replay `log` against `model`. Clean report = the tree proves the claimed

@@ -8,7 +8,9 @@
 
 #include "analysis/certify_bnb.hpp"
 #include "analysis/exact/certify_lp_exact.hpp"
+#include "analysis/exact/envelope.hpp"
 #include "analysis/exact/verify_deployment.hpp"
+#include "analysis/presolve/instance_presolve.hpp"
 #include "common/prng.hpp"
 #include "deploy/evaluate.hpp"
 #include "deploy/problem.hpp"
@@ -16,6 +18,7 @@
 #include "dvfs/vf_table.hpp"
 #include "heuristic/annealing.hpp"
 #include "heuristic/phases.hpp"
+#include "lp/presolve.hpp"
 #include "milp/audit.hpp"
 #include "model/formulation.hpp"
 #include "noc/mesh.hpp"
@@ -83,6 +86,7 @@ SeedOutcome crosscheck_seed(std::uint64_t seed, const CrosscheckOptions& opt) {
   mesh.rows = opt.rows;
   mesh.cols = opt.cols;
   mesh.seed = seed + 7777;
+  mesh.variation = opt.mesh_variation;
   deploy::DeploymentProblem p(task::generate_layered(prng, gen), mesh,
                               dvfs::VfTable::typical6(),
                               reliability::FaultParams{opt.lambda, 3.0}, opt.r_th, 1.0);
@@ -114,10 +118,20 @@ SeedOutcome crosscheck_seed(std::uint64_t seed, const CrosscheckOptions& opt) {
                 " J but the evaluator reports " + fmt(out.heuristic_be) + " J");
   }
 
+  // Instance-level proof-carrying presolve (dominance / symmetry fixings),
+  // warm-point-aware so the heuristic incumbent stays representable in the
+  // reduced space. Seeds the solver's root presolve when presolve is on.
+  InstancePresolveOptions iopt;
+  iopt.warm = &warm_point;
+  const InstancePresolveResult ipre = instance_reductions(f, iopt);
+  out.instance_fixings = ipre.dominance_fixings + ipre.twin_fixings + ipre.orbit_fixings;
+
   milp::AuditLog audit;
   milp::MipOptions mopt;
   mopt.time_limit_s = opt.milp_time_limit_s;
   mopt.num_threads = opt.num_threads;
+  mopt.presolve = opt.presolve;
+  if (opt.presolve) mopt.instance_reductions = &ipre.log;
   mopt.warm_start = &warm_point;
   mopt.completion = [&f](const std::vector<double>& lp_point, std::vector<double>* cand) {
     return f.complete(lp_point, cand);
@@ -125,6 +139,7 @@ SeedOutcome crosscheck_seed(std::uint64_t seed, const CrosscheckOptions& opt) {
   mopt.audit = &audit;
   const milp::MipResult mip = milp::solve(f.model(), mopt);
   out.milp_status = mip.status;
+  out.presolve_stats = mip.presolve_stats;
   out.milp_nodes = mip.nodes;
   out.milp_obj = mip.obj;
   out.milp_bound = mip.best_bound;
@@ -188,9 +203,62 @@ SeedOutcome crosscheck_seed(std::uint64_t seed, const CrosscheckOptions& opt) {
   // when exact checking is on — the rational re-proof of the root
   // certificate (the per-node exact replay is the CLI's job; here the root
   // recheck already exercises the whole exact LP pipeline per seed).
-  rep.merge(certify_bnb(f.model(), audit, {opt.tol}));
+  CertifyBnbOptions copt;
+  copt.tol = opt.tol;
+  copt.formulation = &f;  // instance-tagged reductions are re-proved per seed
+  rep.merge(certify_bnb(f.model(), audit, copt));
   if (opt.exact_verify) {
-    rep.merge(certify_lp_exact(f.model().lp(), audit.root_cert).report);
+    // A presolved audit's root certificate lives in the REDUCED space;
+    // reconstruct that space from the (just re-proved) reduction log before
+    // handing the certificate to the rational re-checker.
+    if (audit.presolved) {
+      const lp::PresolvedLp pmap = lp::apply_reductions(f.model().lp(), audit.reductions);
+      if (!pmap.infeasible && pmap.reduced.num_vars() > 0) {
+        rep.merge(certify_lp_exact(pmap.reduced, audit.root_cert).report);
+      }
+    } else {
+      rep.merge(certify_lp_exact(f.model().lp(), audit.root_cert).report);
+    }
+  }
+
+  // --- Presolve must be a pure reformulation: re-solve with every presolve
+  // pass off and require the two proved-optimal runs to agree. The margin is
+  // derived, not tuned: each incumbent must respect the other run's proved
+  // lower bound within the claim envelope, and the two objectives must agree
+  // within the solver's own declared gap tolerances plus that envelope.
+  if (opt.presolve && opt.presolve_equality && mip.status == milp::MipStatus::kOptimal) {
+    milp::MipOptions m2 = mopt;
+    m2.audit = nullptr;
+    m2.presolve = false;
+    m2.instance_reductions = nullptr;
+    const milp::MipResult off = milp::solve(f.model(), m2);
+    if (off.status != milp::MipStatus::kOptimal) {
+      rep.add(Severity::kWarning, codes::kXcheckMilpNotOptimal, "milp/presolve-off",
+              std::string("stopped '") + milp::to_string(off.status) +
+                  "' — presolve on/off equality degraded to the bound checks");
+    }
+    const double env = presolve_margin(
+        static_cast<std::size_t>(f.model().num_vars()) + 8, 1.0 + std::abs(mip.obj));
+    if (off.has_solution() &&
+        off.obj < mip.best_bound - env) {
+      rep.add(Severity::kError, codes::kXcheckPresolveDivergence, "milp/presolve-off",
+              "raw-model incumbent " + fmt(off.obj) +
+                  " J beats the presolved run's proved bound " + fmt(mip.best_bound) +
+                  " J — a reduction cut off the optimum");
+    }
+    if (mip.obj < off.best_bound - env) {
+      rep.add(Severity::kError, codes::kXcheckPresolveDivergence, "milp/presolve-on",
+              "presolved incumbent " + fmt(mip.obj) +
+                  " J beats the raw model's proved bound " + fmt(off.best_bound) + " J");
+    }
+    if (off.status == milp::MipStatus::kOptimal) {
+      const double gap_budget = mopt.abs_gap + mopt.rel_gap * (1.0 + std::abs(mip.obj));
+      if (std::abs(mip.obj - off.obj) > 2.0 * gap_budget + env) {
+        rep.add(Severity::kError, codes::kXcheckPresolveDivergence, "milp",
+                "presolve on/off objectives disagree: " + fmt(mip.obj) + " J vs " +
+                    fmt(off.obj) + " J beyond the gap budget " + fmt(gap_budget));
+      }
+    }
   }
   return out;
 }

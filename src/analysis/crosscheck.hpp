@@ -44,6 +44,11 @@ struct CrosscheckOptions {
   double alpha = 2.0;
   double r_th = 0.995;
   double lambda = 2e-5;
+  /// Per-link heterogeneity of the mesh (noc::MeshParams::variation). The
+  /// default keeps the historical instances; 0 makes the link tensors
+  /// uniform, which gives the grid provable mesh automorphisms — the presolve
+  /// regression corpus uses that so the symmetry reductions genuinely fire.
+  double mesh_variation = 0.35;
 
   /// Wall-clock cap per MILP solve — this bounds per-seed cost everywhere,
   /// sanitizer builds included. Instances the solver cannot finish in time
@@ -56,6 +61,15 @@ struct CrosscheckOptions {
   /// crosscheck doubles as an end-to-end test of the parallel path.
   int num_threads = 1;
   double tol = 1e-6;          ///< objective/energy comparison tolerance
+  /// Run the MILP with the proof-carrying presolve (instance reductions +
+  /// model passes). Off reproduces the raw-model solve exactly.
+  bool presolve = true;
+  /// With presolve on and a proved-optimal solve, re-solve the seed with
+  /// presolve off and require the two runs to agree: each incumbent must
+  /// respect the other run's proved lower bound, and the objectives must
+  /// match within the solver's own gap tolerances plus the derived claim
+  /// envelope. Divergence means a presolve reduction cut off the optimum.
+  bool presolve_equality = true;
   bool run_simulation = true; ///< event-simulate both deployments
   /// Run the exact static verifier (analysis/exact/verify_deployment) on
   /// every deployment any path produces, and re-prove the MILP's root LP
@@ -75,6 +89,10 @@ struct SeedOutcome {
   double milp_bound = 0.0;    ///< MILP proved lower bound [J]
   milp::MipStatus milp_status = milp::MipStatus::kUnknown;
   std::int64_t milp_nodes = 0;
+  /// Root presolve tallies of the (presolve-on) MILP solve.
+  lp::PresolveStats presolve_stats;
+  /// Instance-level proof-carrying fixings seeded into that solve.
+  int instance_fixings = 0;
 };
 
 /// Run the full differential pipeline on one seed.

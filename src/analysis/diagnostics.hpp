@@ -90,6 +90,21 @@ inline constexpr const char* kBnbLimitNotOptimal = "bnb-limit-not-optimal";     
 inline constexpr const char* kBnbRootCert = "bnb-root-cert";                      // error
 inline constexpr const char* kBnbRootFixing = "bnb-root-fixing";                  // error
 inline constexpr const char* kBnbTimeline = "bnb-timeline";                       // info
+inline constexpr const char* kBnbPresolve = "bnb-presolve";                       // error/info
+
+// certify_presolve (proof-carrying presolve log re-prover, analysis/presolve)
+inline constexpr const char* kPresolveShape = "presolve-shape";               // error
+inline constexpr const char* kPresolveBadBound = "presolve-bad-bound";        // error
+inline constexpr const char* kPresolveBadFix = "presolve-bad-fix";            // error
+inline constexpr const char* kPresolveBadRowDrop = "presolve-bad-row-drop";   // error
+inline constexpr const char* kPresolveBadCoef = "presolve-bad-coef";          // error
+inline constexpr const char* kPresolveBadDominance = "presolve-bad-dominance";// error
+inline constexpr const char* kPresolveBadOrbit = "presolve-bad-orbit";        // error
+inline constexpr const char* kPresolveBadTwin = "presolve-bad-twin";          // error
+inline constexpr const char* kPresolveNeedsInstance = "presolve-needs-instance";  // error
+inline constexpr const char* kPresolveHash = "presolve-hash";                 // error
+inline constexpr const char* kPresolveInfeasible = "presolve-infeasible";     // info
+inline constexpr const char* kPresolveNote = "presolve-note";                 // info
 
 // certify_lp_exact (rational LP certificate re-checker, src/analysis/exact)
 inline constexpr const char* kLpExactShape = "lp-exact-shape";                    // error
@@ -131,6 +146,7 @@ inline constexpr const char* kXcheckSolutionInvalid = "xcheck-solution-invalid";
 inline constexpr const char* kXcheckBeBelowOptimal = "xcheck-be-below-optimal";   // error
 inline constexpr const char* kXcheckEnergyMismatch = "xcheck-energy-mismatch";    // error
 inline constexpr const char* kXcheckSimDivergence = "xcheck-sim-divergence";      // error
+inline constexpr const char* kXcheckPresolveDivergence = "xcheck-presolve-divergence";  // error
 
 }  // namespace codes
 

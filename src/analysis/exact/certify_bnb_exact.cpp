@@ -8,8 +8,11 @@
 
 #include "analysis/exact/certify_lp_exact.hpp"
 #include "analysis/exact/envelope.hpp"
+#include "analysis/presolve/certify_presolve.hpp"
 #include "lp/certificate.hpp"
+#include "lp/presolve.hpp"
 #include "lp/simplex.hpp"
+#include "milp/presolve.hpp"
 #include "obs/obs.hpp"
 
 namespace nd::analysis {
@@ -65,8 +68,12 @@ class NodeResolver {
 
 }  // namespace
 
-ExactBnbOutcome certify_bnb_exact(const milp::Model& model, const milp::AuditLog& log,
-                                  const CertifyBnbExactOptions& opt) {
+namespace {
+
+/// The exact tree replay proper, against the model the tree actually
+/// searched (the original model, or the presolve-reduced one).
+ExactBnbOutcome certify_bnb_exact_tree(const milp::Model& model, const milp::AuditLog& log,
+                                       const CertifyBnbExactOptions& opt) {
   ExactBnbOutcome out;
   Report& rep = out.report;
 
@@ -351,6 +358,66 @@ ExactBnbOutcome certify_bnb_exact(const milp::Model& model, const milp::AuditLog
   rep.add(Severity::kInfo, codes::kBnbExactNode, "tree",
           "re-proved " + std::to_string(out.bounds_reproved) + " prune bound(s) exactly, " +
               std::to_string(out.resolves_failed) + " re-solve(s) inconclusive");
+  return out;
+}
+
+}  // namespace
+
+ExactBnbOutcome certify_bnb_exact(const milp::Model& model, const milp::AuditLog& log,
+                                  const CertifyBnbExactOptions& opt) {
+  if (!log.presolved) return certify_bnb_exact_tree(model, log, opt);
+
+  // Presolved audit: mechanically replay the reduction log with the same
+  // deterministic code the solver used (the reductions themselves are proved
+  // by analysis/presolve's certify_presolve), then re-prove the tree against
+  // the reconstructed reduced model. All mechanical comparisons here are
+  // EXACT — shared code must reproduce the claims bit-for-bit.
+  ExactBnbOutcome out;
+  Report& rep = out.report;
+  {
+    // Zero-tolerance re-proof of every reduction record before anything in
+    // the reduced space is trusted.
+    CertifyPresolveOptions po;
+    po.exact = true;
+    po.formulation = opt.formulation;
+    rep.merge(certify_presolve(model, log.reductions, po));
+  }
+  const lp::PresolvedLp map = lp::apply_reductions(model.lp(), log.reductions);
+  if (log.presolve_shift != map.obj_shift) {
+    rep.add(Severity::kError, codes::kBnbPresolve, "presolve",
+            "claimed objective shift " + fmt(log.presolve_shift) +
+                " != replayed shift " + fmt(map.obj_shift));
+    return out;
+  }
+  if (map.infeasible) {
+    if (log.status != milp::MipStatus::kInfeasible || !log.nodes.empty()) {
+      rep.add(Severity::kError, codes::kBnbPresolve, "presolve",
+              std::string("reduction replay proves infeasibility (") + map.infeasible_why +
+                  ") — the audit must claim infeasible with an empty tree");
+    }
+    return out;
+  }
+  const milp::Model reduced = milp::reduced_model(model, map);
+  if (reduced.num_vars() == 0) {
+    bool feasible = true;
+    (void)lp::trivial_certificate(map.reduced, &feasible);
+    const bool claim_ok =
+        feasible ? (log.status == milp::MipStatus::kOptimal && log.obj == 0.0 &&  // fp-exact: solver writes literal 0
+                    log.best_bound == 0.0 && log.x.empty() && log.nodes.empty())  // fp-exact: same
+                 : (log.status == milp::MipStatus::kInfeasible && log.nodes.empty());
+    if (!claim_ok) {
+      rep.add(Severity::kError, codes::kBnbPresolve, "presolve",
+              feasible ? "presolve eliminated every variable feasibly; the audit must "
+                         "claim optimal with reduced objective 0 and an empty tree"
+                       : "presolve eliminated every variable but left an unsatisfiable "
+                         "row; the audit must claim infeasible with an empty tree");
+    }
+    return out;
+  }
+  ExactBnbOutcome tree = certify_bnb_exact_tree(reduced, log, opt);
+  out.bounds_reproved = tree.bounds_reproved;
+  out.resolves_failed = tree.resolves_failed;
+  rep.merge(tree.report);
   return out;
 }
 

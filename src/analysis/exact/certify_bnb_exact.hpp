@@ -39,12 +39,20 @@
 #include "milp/audit.hpp"
 #include "milp/model.hpp"
 
+namespace nd::model {
+class Formulation;
+}
+
 namespace nd::analysis {
 
 struct CertifyBnbExactOptions {
   /// Wall-clock budget for ALL node LP re-solves together; nodes that miss
   /// it degrade to kBnbExactResolve warnings.
   double lp_time_limit_s = 10.0;
+  /// Deployment formulation behind the model, for re-proving instance-tagged
+  /// presolve reductions in a presolved audit (certify_presolve runs in
+  /// --exact mode here). Borrowed pointer, not owned.
+  const model::Formulation* formulation = nullptr;
 };
 
 struct ExactBnbOutcome {

@@ -40,4 +40,16 @@ inline Rat claim_envelope(std::size_t terms, const Rat& scale) {
          (Rat(1) + scale);
 }
 
+// Float-side projection of claim_envelope for the presolve passes: the pass
+// engine (src/lp/presolve.cpp) works in double, so it consumes the envelope
+// as a double. Same derived shape — 2^16 · (terms + 1) · u · (1 + scale)
+// with u = 2^-53 — and, like the Rat version, no tunable parameter: presolve
+// backs every activity-derived claim off by this margin so the exact checker
+// can re-prove it with zero tolerance. Safe to call from any layer
+// (header-only, pure arithmetic).
+inline double presolve_margin(std::size_t terms, double scale) {
+  const double u = 1.0 / 9007199254740992.0;  // 2^-53  (rat-io)
+  return 65536.0 * (static_cast<double>(terms) + 1.0) * u * (1.0 + scale);
+}
+
 }  // namespace nd::analysis

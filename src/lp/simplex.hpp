@@ -50,6 +50,12 @@ class Simplex {
     /// the current loop return kIterLimit. Used by branch-and-bound so one
     /// pathological LP cannot overrun the global time limit.
     std::chrono::steady_clock::time_point deadline{};
+    /// One-shot entry points (solve_lp / solve_lp_certified) run the
+    /// certificate-safe presolve (lp/presolve.hpp) and solve the reduced
+    /// problem, lifting the point/certificate back. The Simplex engine
+    /// itself ignores this flag — branch-and-bound presolves once at the
+    /// root (milp::MipOptions::presolve), not per node.
+    bool presolve = true;
   };
 
   void set_deadline(std::chrono::steady_clock::time_point t) { opt_.deadline = t; }

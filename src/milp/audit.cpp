@@ -118,6 +118,11 @@ AuditNode node_from_json(const json::Value& v) {
 
 json::Value audit_to_json(const AuditLog& log) {
   json::Object o;
+  if (log.presolved) {
+    o.emplace_back("presolved", true);
+    o.emplace_back("reductions", lp::reduction_log_to_json(log.reductions));
+    o.emplace_back("presolve_shift", log.presolve_shift);
+  }
   o.emplace_back("warm_accepted", log.warm_accepted);
   o.emplace_back("warm_obj", num_to_json(log.warm_obj));
   o.emplace_back("root_bound", num_to_json(log.root_bound));
@@ -149,6 +154,13 @@ json::Value audit_to_json(const AuditLog& log) {
 
 AuditLog audit_from_json(const json::Value& v) {
   AuditLog log;
+  // Logs written before presolve existed have no header: not presolved.
+  const json::Value* ps = v.find("presolved");
+  if (ps != nullptr && ps->as_bool()) {
+    log.presolved = true;
+    log.reductions = lp::reduction_log_from_json(v.at("reductions"));
+    log.presolve_shift = v.at("presolve_shift").as_number();
+  }
   log.warm_accepted = v.at("warm_accepted").as_bool();
   log.warm_obj = num_from_json(v.at("warm_obj"));
   log.root_bound = num_from_json(v.at("root_bound"));

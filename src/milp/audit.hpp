@@ -18,6 +18,7 @@
 
 #include "common/json.hpp"
 #include "lp/certificate.hpp"
+#include "lp/presolve.hpp"
 #include "milp/branch_and_bound.hpp"
 
 namespace nd::milp {
@@ -66,6 +67,19 @@ struct RootFixing {
 };
 
 struct AuditLog {
+  /// Presolve header. When `presolved` is set, EVERY number below — x, obj,
+  /// best_bound, warm_obj, node bounds, the root certificate, root fixings
+  /// and node var indices — lives in the REDUCED space obtained by applying
+  /// `reductions` to the original model (lp::apply_reductions), and the
+  /// original-space objective is `obj + presolve_shift`. The replayer
+  /// (analysis/certify_bnb.hpp) first certifies the reduction log itself
+  /// against the original model, mechanically rebuilds the reduced model,
+  /// and then replays the tree against THAT — so the audit stays sound
+  /// end-to-end without trusting the presolve either.
+  bool presolved = false;
+  lp::ReductionLog reductions;
+  double presolve_shift = 0.0;  ///< original obj = reduced obj + shift
+
   // Root state.
   bool warm_accepted = false;
   double warm_obj = 0.0;       ///< initial incumbent (valid iff warm_accepted)

@@ -13,6 +13,7 @@
 #include "lp/simplex.hpp"
 #include "milp/audit.hpp"
 #include "milp/bnb_detail.hpp"
+#include "milp/presolve.hpp"
 #include "obs/obs.hpp"
 
 namespace nd::milp {
@@ -93,6 +94,9 @@ int detail::pick_branch_var(const Model& model, const lp::Simplex& engine, doubl
 }
 
 MipResult solve(const Model& model, const MipOptions& opt) {
+  // Root presolve first (solve_presolved calls back here with presolve off
+  // and the REDUCED model, so the thread dispatch below applies to it too).
+  if (opt.presolve) return detail::solve_presolved(model, opt);
   const int threads = opt.num_threads > 0 ? opt.num_threads : ThreadPool::default_threads();
   if (threads > 1) return detail::solve_parallel(model, opt, threads);
   using detail::pick_branch_var;

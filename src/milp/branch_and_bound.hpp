@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "lp/presolve.hpp"
 #include "milp/model.hpp"
 
 namespace nd::milp {
@@ -56,6 +57,18 @@ struct MipOptions {
   /// analysis/certify_bnb.hpp). Costs one extra root-certificate extraction
   /// and O(1) bookkeeping per node.
   AuditLog* audit = nullptr;
+  /// Run the proof-carrying root presolve (milp/presolve.hpp) before the
+  /// tree search: activity-based bound propagation, coefficient tightening,
+  /// redundant-row and empty-column elimination, to a fixpoint. The tree is
+  /// then searched on the REDUCED model; the result (and the audit log, when
+  /// requested) is lifted back, and the audit carries the full reduction log
+  /// so certify_bnb can re-prove every reduction independently.
+  bool presolve = true;
+  /// Optional instance-level reductions (dominance / symmetry fixings from
+  /// analysis/presolve) to prepend to the root presolve. Must be proved
+  /// against THIS model; borrowed pointer, not owned. Ignored when
+  /// `presolve` is false.
+  const lp::ReductionLog* instance_reductions = nullptr;
   /// Emit counters/spans into the obs telemetry layer (node dispositions,
   /// queue depth, donations, cold vs warm re-solves, the incumbent timeline,
   /// per-worker busy time). Only observable while an obs session is
@@ -72,6 +85,9 @@ struct MipResult {
   std::int64_t nodes = 0;
   double seconds = 0.0;
   int lp_iterations = 0;
+  /// Root presolve tallies from the proof-carrying reduction log that
+  /// produced the reduced model (all zero when MipOptions::presolve is off).
+  lp::PresolveStats presolve_stats;
 
   [[nodiscard]] bool has_solution() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;

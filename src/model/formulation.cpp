@@ -288,6 +288,8 @@ void Formulation::add_reliability_rows() {
   }
   sigma = std::max(sigma, 1e-12);
   rmax = std::max(rmax, r_th);
+  sigma_ = sigma;
+  rmax_ = rmax;
 
   for (int i = 0; i < M_; ++i) {
     const int d = i + M_;
@@ -310,16 +312,45 @@ void Formulation::add_reliability_rows() {
     // (5) as conflict cuts: forbid (l, l') whose combined reliability misses
     // R_th whenever the original level alone already misses it.
     for (int l = 0; l < L_; ++l) {
-      const double r_orig = rel_[static_cast<std::size_t>(i * L_ + l)];
-      if (r_orig >= r_th) continue;
       for (int ld = 0; ld < L_; ++ld) {
-        const double r_dup = rel_[static_cast<std::size_t>(d * L_ + ld)];
-        if (reliability::FaultModel::duplicated(r_orig, r_dup) < r_th - 1e-15) {
+        if (conflict_cut(i, l, ld)) {
           model_.add_row({{y(i, l), 1.0}, {y(d, ld), 1.0}}, Sense::LE, 1.0);
         }
       }
     }
   }
+}
+
+double Formulation::wcec_time(int i, int l) const {
+  return wcec_time_[static_cast<std::size_t>(i * L_ + l)];
+}
+
+double Formulation::wcec_energy(int i, int l) const {
+  return wcec_energy_[static_cast<std::size_t>(i * L_ + l)];
+}
+
+double Formulation::reliability(int i, int l) const {
+  return rel_[static_cast<std::size_t>(i * L_ + l)];
+}
+
+bool Formulation::conflict_cut(int i, int l, int ld) const {
+  const double r_th = p_->r_th();
+  const double r_orig = rel_[static_cast<std::size_t>(i * L_ + l)];
+  if (r_orig >= r_th) return false;
+  const double r_dup = rel_[static_cast<std::size_t>((i + M_) * L_ + ld)];
+  return reliability::FaultModel::duplicated(r_orig, r_dup) < r_th - 1e-15;
+}
+
+int Formulation::var_gflow(int j, int beta, int gamma) const {
+  const int base = gflow_task_base_[static_cast<std::size_t>(j)];
+  if (base < 0) return -1;
+  return gflow_[static_cast<std::size_t>(base + beta * N_ + gamma)];
+}
+
+int Formulation::var_qgflow(int j, int beta, int gamma) const {
+  const int base = gflow_task_base_[static_cast<std::size_t>(j)];
+  if (base < 0) return -1;
+  return qgflow_[static_cast<std::size_t>(base + beta * N_ + gamma)];
 }
 
 void Formulation::add_placement_rows() {

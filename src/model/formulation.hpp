@@ -59,6 +59,52 @@ class Formulation {
 
   [[nodiscard]] const milp::Model& model() const { return model_; }
   [[nodiscard]] const FormulationOptions& options() const { return opt_; }
+  [[nodiscard]] const deploy::DeploymentProblem& problem() const { return *p_; }
+
+  // --- Instance-table accessors (analysis/presolve) -----------------------
+  // The instance presolver and its certifier must reason about EXACTLY the
+  // constants this formulation wrote into the model, so the per-(task,level)
+  // tables and the reliability-row constants are exposed here instead of
+  // being recomputed (and possibly rounded differently) outside.
+  [[nodiscard]] int num_tasks() const { return M_; }          ///< M (originals)
+  [[nodiscard]] int num_total_tasks() const { return T_; }    ///< 2M
+  [[nodiscard]] int num_procs() const { return N_; }
+  [[nodiscard]] int num_levels() const { return L_; }
+  [[nodiscard]] int num_edges() const { return E_; }          ///< duplicated graph
+  [[nodiscard]] double horizon() const { return H_; }
+  [[nodiscard]] double wcec_time(int i, int l) const;         ///< C_i / f_l
+  [[nodiscard]] double wcec_energy(int i, int l) const;       ///< E_il
+  [[nodiscard]] double reliability(int i, int l) const;       ///< r_il
+  /// σ of Lemma 2.1: the margin row (4b) is built with (see
+  /// add_reliability_rows). Exposed so level-dominance proofs can reason
+  /// about the exact constant in the model, not a re-derivation of it.
+  [[nodiscard]] double reliability_sigma() const { return sigma_; }
+  /// True iff the model contains conflict cut y(i,l) + y(i+M,ld) ≤ 1 —
+  /// decided with the same comparison add_reliability_rows used.
+  [[nodiscard]] bool conflict_cut(int i, int l, int ld) const;
+
+  // Variable index accessors (-1 where the model has no such variable).
+  [[nodiscard]] int var_y(int i, int l) const { return y(i, l); }
+  [[nodiscard]] int var_h(int d) const { return h(d); }       ///< d in [M, T)
+  [[nodiscard]] int var_x(int i, int k) const { return x(i, k); }
+  [[nodiscard]] int var_cpath(int beta, int gamma) const {
+    return cpath_[static_cast<std::size_t>(beta * N_ + gamma)];
+  }
+  /// Ordering binary of unordered pair i < j; -1 when precedence orders it.
+  [[nodiscard]] int var_z(int i, int j) const { return z_[pair_index(i, j)]; }
+  [[nodiscard]] int var_ts(int i) const { return ts_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int var_te(int i) const { return te_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int var_tc(int i) const { return tc_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int var_ec(int i, int k) const {
+    return ec_[static_cast<std::size_t>(i * N_ + k)];
+  }
+  [[nodiscard]] int var_a(int e, int beta, int gamma) const {
+    return a_var(e, beta, gamma);
+  }
+  [[nodiscard]] int var_gprod(int e) const { return gprod_[static_cast<std::size_t>(e)]; }
+  [[nodiscard]] int var_gflow(int j, int beta, int gamma) const;
+  [[nodiscard]] int var_qgflow(int j, int beta, int gamma) const;
+  [[nodiscard]] int var_emax() const { return emax_; }
 
   /// Decode an integral MILP point into a deployment.
   [[nodiscard]] deploy::DeploymentSolution decode(const std::vector<double>& point) const;
@@ -114,6 +160,8 @@ class Formulation {
   std::vector<int> gflow_task_base_;  // offset per task into gflow_/qgflow_
   int emax_ = -1;
 
+  double sigma_ = 0.0;                // Lemma 2.1 margin σ of row (4b)
+  double rmax_ = 0.0;                 // max r_il over originals, ≥ R_th
   double byte_scale_ = 1.0;           // flow unit: max edge payload (numerics)
   std::vector<double> wcec_energy_;   // [i*L + l] = E_il
   std::vector<double> wcec_time_;     // [i*L + l] = C_i/f_l

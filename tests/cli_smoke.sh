@@ -49,6 +49,13 @@ if "$CLI" certify --problem "$DIR/small.json" --solution "$DIR/milp_sol.json" \
   exit 1
 fi
 
+# Lint: static instance analysis; --presolve-report prints the proof-carrying
+# reduction summary (canonical hash + per-pass tallies) without solving.
+"$CLI" lint --problem "$DIR/prob.json" --presolve-report > "$DIR/lint.txt"
+grep -q "canonical instance hash" "$DIR/lint.txt"
+grep -q "model passes:" "$DIR/lint.txt"
+grep -q "lint: 0 error(s)" "$DIR/lint.txt"
+
 # Telemetry: --stats prints the per-subsystem table after any command (or an
 # honest "compiled out" note when NOCDEPLOY_OBS is off — both say telemetry:).
 "$CLI" solve --problem "$DIR/prob.json" --method heuristic --stats \

@@ -184,6 +184,9 @@ TEST(ParallelBnb, NodeLimitYieldsHonestNonOptimalAudit) {
   const Model m = random_binary_model(1);
   MipOptions opt;
   opt.node_limit = 3;
+  // This test targets the raw tree-limit path: root presolve shrinks the
+  // model enough that three nodes can prove optimality, so turn it off.
+  opt.presolve = false;
   const SolveOut out = solve_with_threads(m, 2, opt);
   EXPECT_NE(out.res.status, MipStatus::kOptimal);
   if (out.res.has_solution()) {

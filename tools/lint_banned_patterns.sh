@@ -20,6 +20,12 @@
 #   6. float/double state in the Rat/BigInt header — rat.hpp must hold no
 #      floating-point members or locals outside the annotated conversion
 #      boundary; every double there carries a `rat-io` comment or it fails.
+#   7. hand-rolled tolerance literals (`1e-...`) in the presolve layers —
+#      every margin there must come from the shared claim envelope
+#      (analysis/exact/envelope.hpp), so the float checker and the exact
+#      checker agree on what "within tolerance" means. A presolve file that
+#      needs a new constant derives it (ldexp of a power of two) or extends
+#      the envelope; it never inlines `1e-6`-style magic.
 #
 # Exit 0 when clean, 1 with one "file:line: message" per hit otherwise.
 # Run from anywhere: paths resolve relative to the repo root. POSIX sh only —
@@ -80,6 +86,15 @@ hits="$(awk '{
       print "src/analysis/exact/rat.hpp:" FNR ":" $0
   }' src/analysis/exact/rat.hpp)" || true
 report_hits "$hits" "floating-point type in rat.hpp outside the annotated 'rat-io' I/O boundary"
+
+# --- 7. tolerance literals in the presolve layers ----------------------------
+# The proof-carrying presolve derives every margin from the shared envelope;
+# an inline `1e-...` literal there is a tunable tolerance in disguise and
+# would let the engine and the certifier drift apart.
+presolve_files="$(find src/lp -name 'presolve.*' ; find src/milp -name 'presolve.*' ; \
+  find src/analysis/presolve -name '*.cpp' -o -name '*.hpp')"
+hits="$(printf '%s\n' "$presolve_files" | sort | xargs grep -nE '1[eE]-[0-9]' /dev/null)" || true
+report_hits "$hits" "tolerance literal in a presolve layer; derive margins from analysis/exact/envelope.hpp"
 
 if [ "$fail" -eq 0 ]; then
   echo "lint_banned_patterns: clean"

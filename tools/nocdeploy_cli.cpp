@@ -5,7 +5,7 @@
 //                   [--time-limit 30] [-o sol.json] [--gantt] [--dot out.dot]
 //   nocdeploy validate --problem prob.json --solution sol.json
 //   nocdeploy simulate --problem prob.json --solution sol.json [--trials 100000]
-//   nocdeploy lint     --problem prob.json [--model] [--json]
+//   nocdeploy lint     --problem prob.json [--model] [--presolve-report] [--json]
 //   nocdeploy certify  --problem prob.json --method optimal|heuristic [--exact]
 //                      [--emit-certificate c.json] [--emit-audit a.json] [-o sol.json]
 //   nocdeploy certify  --problem prob.json --solution sol.json
@@ -21,6 +21,13 @@
 // `--threads` (solve/certify with --method optimal, crosscheck) selects the
 // MILP solver's thread count: 1 = sequential, >1 = work-sharing parallel
 // branch-and-bound, 0 = machine default (honours NOCDEPLOY_THREADS).
+//
+// `--presolve on|off` (solve/certify with --method optimal, crosscheck)
+// toggles the proof-carrying presolve: instance-level dominance/symmetry
+// fixings (analysis/presolve) seeding the model-structure root passes
+// (milp/presolve). Default on. `lint --presolve-report` prints the reduction
+// summary and the canonical instance hash without solving, and re-proves the
+// emitted log with the independent checker (docs/presolve.md).
 //
 // Telemetry (docs/observability.md): every command accepts `--stats` (print
 // the per-subsystem stats table after the run) and `--trace FILE` (write
@@ -46,6 +53,8 @@
 #include "analysis/crosscheck.hpp"
 #include "analysis/lint_model.hpp"
 #include "analysis/lint_problem.hpp"
+#include "analysis/presolve/certify_presolve.hpp"
+#include "analysis/presolve/instance_presolve.hpp"
 #include "deploy/evaluate.hpp"
 #include "deploy/export.hpp"
 #include "deploy/serialize.hpp"
@@ -54,6 +63,7 @@
 #include "heuristic/phases.hpp"
 #include "lp/certificate.hpp"
 #include "milp/audit.hpp"
+#include "milp/presolve.hpp"
 #include "model/formulation.hpp"
 #include "obs/obs.hpp"
 #include "sim/event_sim.hpp"
@@ -76,6 +86,8 @@ struct Args {
     const auto it = flags.find(key);
     return it == flags.end() ? def : std::stod(it->second);
   }
+  /// `--presolve on|off`, default on (a bare `--presolve` also means on).
+  [[nodiscard]] bool presolve_on() const { return get("presolve", "on") != "off"; }
 };
 
 int usage() {
@@ -84,19 +96,22 @@ int usage() {
                "  gen      --tasks N --rows R --cols C --alpha A --r-th X --lambda L\n"
                "           --seed S -o problem.json\n"
                "  solve    --problem P.json --method heuristic|annealing|optimal\n"
-               "           [--time-limit SEC] [-o solution.json] [--gantt] [--dot FILE]\n"
+               "           [--time-limit SEC] [--presolve on|off] [-o solution.json]\n"
+               "           [--gantt] [--dot FILE]\n"
                "  validate --problem P.json --solution S.json\n"
                "  simulate --problem P.json --solution S.json [--trials N]\n"
-               "  lint     --problem P.json [--model] [--json]\n"
+               "  lint     --problem P.json [--model] [--presolve-report] [--json]\n"
                "  certify  --problem P.json --method optimal|heuristic [--exact]\n"
-               "           [--time-limit SEC] [--emit-certificate F] [--emit-audit F]\n"
+               "           [--time-limit SEC] [--presolve on|off]\n"
+               "           [--emit-certificate F] [--emit-audit F]\n"
                "           [-o solution.json] [--json]\n"
                "  certify  --problem P.json --solution S.json\n"
                "           [--certificate F] [--audit F] [--exact] [--json]\n"
                "  verify   --problem P.json --solution S.json\n"
                "           [--claimed-be X] [--no-contention] [--json]\n"
                "  crosscheck [--seeds N] [--first-seed S] [--tasks N] [--rows R]\n"
-               "           [--cols C] [--time-limit SEC] [--threads T] [--no-sim] [--json]\n"
+               "           [--cols C] [--time-limit SEC] [--threads T]\n"
+               "           [--presolve on|off] [--mesh-variation V] [--no-sim] [--json]\n"
                "  sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]\n"
                "           [--rows R] [--cols C] [--time-limit SEC]\n"
                "           [-o BENCH_sweep.json] [--json]\n"
@@ -179,16 +194,41 @@ int cmd_solve(const Args& a) {
   }
   if (method == "optimal") {
     const auto warm = heuristic::solve_heuristic(*p);
+    // Built by hand (instead of via model::solve_optimal) so the instance-
+    // level proof-carrying reductions can seed the solver's root presolve.
+    const model::Formulation f(*p);
+    std::vector<double> warm_point;
     milp::MipOptions mopt;
     mopt.time_limit_s = a.num("time-limit", 60.0);
     mopt.num_threads = static_cast<int>(a.num("threads", 1));
-    const auto res =
-        model::solve_optimal(*p, {}, mopt, warm.feasible ? &warm.solution : nullptr);
+    mopt.presolve = a.presolve_on();
+    if (warm.feasible) {
+      warm_point = f.encode(warm.solution);
+      mopt.warm_start = &warm_point;
+    }
+    mopt.completion = [&f](const std::vector<double>& lp_point, std::vector<double>* out) {
+      return f.complete(lp_point, out);
+    };
+    analysis::InstancePresolveResult ipre;
+    if (mopt.presolve) {
+      analysis::InstancePresolveOptions iopt;
+      if (warm.feasible) iopt.warm = &warm_point;
+      ipre = analysis::instance_reductions(f, iopt);
+      mopt.instance_reductions = &ipre.log;
+    }
+    const auto mip = milp::solve(f.model(), mopt);
     std::printf("MILP status: %s, nodes %lld, lp-iters %d, bound %.6f, gap %.2f%%\n",
-                to_string(res.mip.status), static_cast<long long>(res.mip.nodes),
-                res.mip.lp_iterations, res.mip.best_bound, 100.0 * res.mip.gap());
-    if (!res.mip.has_solution()) return 1;
-    return report_and_save(*p, res.solution, a, res.mip.seconds);
+                to_string(mip.status), static_cast<long long>(mip.nodes),
+                mip.lp_iterations, mip.best_bound, 100.0 * mip.gap());
+    if (mopt.presolve) {
+      std::printf("presolve: -%d rows -%d cols (%d instance fixing(s): %d dominance, "
+                  "%d twin, %d orbit)\n",
+                  mip.presolve_stats.rows_removed, mip.presolve_stats.cols_removed,
+                  ipre.dominance_fixings + ipre.twin_fixings + ipre.orbit_fixings,
+                  ipre.dominance_fixings, ipre.twin_fixings, ipre.orbit_fixings);
+    }
+    if (!mip.has_solution()) return 1;
+    return report_and_save(*p, f.decode(mip.x), a, mip.seconds);
   }
   return usage();
 }
@@ -211,6 +251,38 @@ int cmd_lint(const Args& a) {
     // Also build the MILP formulation and lint the generated model.
     const model::Formulation formulation(*p);
     rep.merge(analysis::lint_model(formulation.model()));
+  }
+  if (a.flags.count("presolve-report") != 0) {
+    // Static presolve analysis without solving: run the instance passes and
+    // the model-structure passes, print the reduction footprint and the
+    // canonical hash, and dogfood the emitted log through the independent
+    // checker — a rejected record here is a presolve bug, not a model defect.
+    const model::Formulation f(*p);
+    const auto ipre = analysis::instance_reductions(f);
+    const auto pm = milp::presolve_model(f.model(), &ipre.log);
+    analysis::CertifyPresolveOptions po;
+    po.formulation = &f;
+    rep.merge(analysis::certify_presolve(f.model(), pm.log, po));
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(ipre.log.canonical_hash));
+    // Info diagnostics so --json carries the report too.
+    rep.add(analysis::Severity::kInfo, analysis::codes::kPresolveNote, "presolve",
+            std::string("canonical instance hash ") + hash);
+    rep.add(analysis::Severity::kInfo, analysis::codes::kPresolveNote, "presolve",
+            std::to_string(ipre.automorphisms) + " mesh automorphism(s); fixings: " +
+                std::to_string(ipre.dominance_fixings) + " dominance, " +
+                std::to_string(ipre.twin_fixings) + " twin, " +
+                std::to_string(ipre.orbit_fixings) + " orbit");
+    const auto& st = pm.map.stats;
+    rep.add(analysis::Severity::kInfo, analysis::codes::kPresolveNote, "presolve",
+            "model passes: -" + std::to_string(st.rows_removed) + " rows, -" +
+                std::to_string(st.cols_removed) + " cols (" +
+                std::to_string(st.cols_pinned) + " pinned), " +
+                std::to_string(st.bound_tightenings) + " bound + " +
+                std::to_string(st.coef_tightenings) + " coef tightening(s), " +
+                std::to_string(pm.rounds) + " round(s); " +
+                std::to_string(pm.log.reductions.size()) + " record(s) re-proved");
   }
   if (a.flags.count("json") != 0) {
     std::printf("%s\n", rep.to_json().dump(2).c_str());
@@ -292,11 +364,20 @@ int cmd_certify(const Args& a) {
       if (!a.get("audit").empty()) {
         const auto audit =
             milp::audit_from_json(json::parse(deploy::read_file(a.get("audit"))));
-        rep.merge(analysis::certify_bnb(f.model(), audit));
-        if (exact) rep.merge(analysis::certify_bnb_exact(f.model(), audit).report);
+        analysis::CertifyBnbOptions co;
+        co.formulation = &f;  // re-proves instance-tagged presolve reductions
+        rep.merge(analysis::certify_bnb(f.model(), audit, co));
+        if (exact) {
+          analysis::CertifyBnbExactOptions bo;
+          bo.formulation = &f;
+          rep.merge(analysis::certify_bnb_exact(f.model(), audit, bo).report);
+        }
+        // Presolved audits record the objective in reduced space; the
+        // original-space claim is obj + presolve_shift.
+        const double audit_obj = audit.obj + (audit.presolved ? audit.presolve_shift : 0.0);
         if ((audit.status == milp::MipStatus::kOptimal ||
              audit.status == milp::MipStatus::kFeasible) &&
-            std::abs(audit.obj - be) > 1e-6 * (1.0 + std::abs(audit.obj))) {
+            std::abs(audit_obj - be) > 1e-6 * (1.0 + std::abs(audit_obj))) {
           rep.add(analysis::Severity::kError, analysis::codes::kBnbIncumbentMismatch,
                   "solution", "solution BE energy does not match the audited objective");
         }
@@ -334,15 +415,26 @@ int cmd_certify(const Args& a) {
     mopt.completion = [&f](const std::vector<double>& lp_point, std::vector<double>* out) {
       return f.complete(lp_point, out);
     };
+    mopt.presolve = a.presolve_on();
+    analysis::InstancePresolveResult ipre;
+    if (mopt.presolve) {
+      analysis::InstancePresolveOptions iopt;
+      if (warm.feasible) iopt.warm = &warm_point;
+      ipre = analysis::instance_reductions(f, iopt);
+      mopt.instance_reductions = &ipre.log;
+    }
     milp::AuditLog audit;
     mopt.audit = &audit;
     const auto mip = milp::solve(f.model(), mopt);
     std::printf("MILP status: %s, nodes %lld, bound %.6f\n", to_string(mip.status),
                 static_cast<long long>(mip.nodes), mip.best_bound);
-    rep.merge(analysis::certify_bnb(f.model(), audit));
+    analysis::CertifyBnbOptions co;
+    co.formulation = &f;  // re-proves instance-tagged presolve reductions
+    rep.merge(analysis::certify_bnb(f.model(), audit, co));
     if (exact) {
       analysis::CertifyBnbExactOptions bopt;
       bopt.lp_time_limit_s = a.num("exact-lp-budget", bopt.lp_time_limit_s);
+      bopt.formulation = &f;
       rep.merge(analysis::certify_bnb_exact(f.model(), audit, bopt).report);
     }
     if (mip.has_solution()) {
@@ -401,6 +493,8 @@ int cmd_crosscheck(const Args& a) {
   opt.cols = static_cast<int>(a.num("cols", opt.cols));
   opt.milp_time_limit_s = a.num("time-limit", opt.milp_time_limit_s);
   opt.num_threads = static_cast<int>(a.num("threads", opt.num_threads));
+  opt.mesh_variation = a.num("mesh-variation", opt.mesh_variation);
+  opt.presolve = a.presolve_on();
   opt.run_simulation = a.flags.count("no-sim") == 0;
   opt.verbose = a.flags.count("json") == 0;
   const auto first = static_cast<std::uint64_t>(a.num("first-seed", 1));
@@ -436,9 +530,13 @@ int cmd_sweep(const Args& a) {
                 "speedup %.2fx, %d mismatch(es)\n",
                 opt.seeds, res.threads_used, res.serial_wall_s, res.parallel_wall_s,
                 res.speedup, res.mismatches);
+    std::printf("sweep: presolve off %.3f s (%.2fx speedup from presolve), "
+                "-%d rows -%d cols total, %d presolve mismatch(es)\n",
+                res.presolve_off_wall_s, res.presolve_speedup, res.rows_removed_total,
+                res.cols_removed_total, res.presolve_mismatches);
     if (!out.empty()) std::printf("wrote %s\n", out.c_str());
   }
-  return res.mismatches > 0 ? 1 : 0;
+  return res.mismatches > 0 || res.presolve_mismatches > 0 ? 1 : 0;
 }
 
 /// Build the `profile` subject: an explicit problem file when given,
