@@ -1,0 +1,78 @@
+// Noise-aware comparison of two sweep documents (BENCH_sweep.json).
+//
+// The regression observatory's core: `nocdeploy-cli bench diff old.json
+// new.json` loads two nocdeploy-sweep/4 documents and classifies every
+// shared metric:
+//   * timing metrics (wall clocks, per-seed second stats) compare against a
+//     noise threshold derived from the OLD document's own spread —
+//     max(sigma x stddev, rel_floor x mean, abs_floor) — so a machine with
+//     noisy seeds gets a proportionally wider band instead of a flaky gate;
+//   * deterministic work counters (node counts, pivots, per-seed counter
+//     deltas) compare EXACTLY — they are identical across machines for the
+//     same code, so any drift is a real behavioural change, not noise;
+//   * histogram summaries compare by relative percentile shift (p50/p99),
+//     catching tail-latency regressions that means hide.
+//
+// Every finding carries a stable kebab-case diagnostic code (e.g.
+// "bench-diff-time-regression") so tests and CI pin behaviour to codes, not
+// message text. Exit-code contract (DiffResult::exit_code):
+//   0  comparable and no regression (improvements / within-noise only)
+//   1  at least one regression finding
+//   3  documents not comparable (schema or config mismatch)
+// (the CLI reserves 2 for usage errors.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace nd::bench {
+
+struct DiffOptions {
+  double sigma = 3.0;        ///< stddev multiplier in the noise threshold
+  double rel_floor = 0.10;   ///< minimum relative band (10%) for time metrics
+  double abs_floor_s = 0.002;  ///< minimum absolute band for time metrics
+  double hist_rel = 0.50;    ///< relative percentile-shift band for histograms
+};
+
+enum class DiffClass {
+  kImprovement,   ///< beyond the noise band in the good direction
+  kWithinNoise,   ///< inside the band (or exactly equal)
+  kRegression,    ///< beyond the band in the bad direction — gates CI
+  kIncomparable,  ///< schema/config mismatch; documents cannot be compared
+  kNote,          ///< non-gating observation (missing metric, new metric)
+};
+
+const char* to_string(DiffClass c);
+
+struct DiffFinding {
+  DiffClass cls = DiffClass::kNote;
+  std::string code;    ///< stable diagnostic id, kebab-case, "bench-diff-*"
+  std::string metric;  ///< dotted metric path, e.g. "serial.wall_clock_s"
+  std::string detail;  ///< human-readable old → new with the band used
+};
+
+struct DiffResult {
+  std::vector<DiffFinding> findings;
+  int regressions = 0;
+  int improvements = 0;
+  int within_noise = 0;
+  int notes = 0;
+  bool comparable = true;
+
+  /// 3 when incomparable, 1 when any regression, else 0.
+  [[nodiscard]] int exit_code() const;
+  /// Aligned human-readable report (one row per finding + a summary line).
+  [[nodiscard]] std::string to_table() const;
+  /// Machine-readable document (schema "nocdeploy-bench-diff/1").
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Compare two sweep documents. Throws std::invalid_argument only on
+/// documents that are not JSON objects at all; structural problems inside
+/// (wrong schema string, differing config) become kIncomparable findings.
+DiffResult diff_sweeps(const json::Value& old_doc, const json::Value& new_doc,
+                       const DiffOptions& opt = {});
+
+}  // namespace nd::bench

@@ -1,5 +1,6 @@
 #include "sweep_runner.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 
@@ -73,6 +74,22 @@ json::Value stats_json(const Stats& st) {
                       {"median", st.median()}};
 }
 
+/// Nonzero counter deltas between two local_counter_totals() snapshots.
+/// Valid only when `before` and `after` come from the SAME thread — the
+/// sweep's phases guarantee that (serial phases run on the calling thread,
+/// each pooled instance runs entirely inside one parallel_for task).
+std::map<std::string, long long> counter_delta(
+    const std::map<std::string, long long>& before,
+    const std::map<std::string, long long>& after) {
+  std::map<std::string, long long> delta;
+  for (const auto& [name, total] : after) {
+    const auto it = before.find(name);
+    const long long d = total - (it == before.end() ? 0 : it->second);
+    if (d != 0) delta[name] = d;
+  }
+  return delta;
+}
+
 }  // namespace
 
 SweepResult run_sweep(const SweepOptions& opt) {
@@ -94,13 +111,9 @@ SweepResult run_sweep(const SweepOptions& opt) {
   Stopwatch serial_sw;
   for (int i = 0; i < k; ++i) {
     SweepSeed& s = out.seeds[static_cast<std::size_t>(i)];
-    const std::map<std::string, long long> before = obs::counter_totals();
+    const std::map<std::string, long long> before = obs::local_counter_totals();
     const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s, /*presolve=*/true);
-    for (const auto& [name, total] : obs::counter_totals()) {
-      const auto it = before.find(name);
-      const long long delta = total - (it == before.end() ? 0 : it->second);
-      if (delta != 0) s.counters[name] = delta;
-    }
+    s.counters = counter_delta(before, obs::local_counter_totals());
     s.serial_s = r.seconds;
     s.serial_obj = r.obj;
     s.serial_nodes = r.nodes;
@@ -126,7 +139,9 @@ SweepResult run_sweep(const SweepOptions& opt) {
   Stopwatch off_sw;
   for (int i = 0; i < k; ++i) {
     SweepSeed& s = out.seeds[static_cast<std::size_t>(i)];
+    const std::map<std::string, long long> before = obs::local_counter_totals();
     const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s, /*presolve=*/false);
+    s.presolve_off_counters = counter_delta(before, obs::local_counter_totals());
     s.presolve_off_s = r.seconds;
     s.presolve_off_obj = r.obj;
     s.presolve_off_nodes = r.nodes;
@@ -139,22 +154,35 @@ SweepResult run_sweep(const SweepOptions& opt) {
   }
   out.presolve_off_wall_s = off_sw.seconds();
 
-  // Phase 3: the same K instances fanned out across the pool.
+  // Phase 3: the same K instances fanned out across the pool. Each task
+  // brackets its own thread's counters (a pooled instance never migrates
+  // workers) and adds its in-task wall time to the pool busy total; idle is
+  // whatever the phase's threads x wall budget did not spend inside tasks.
   std::int64_t parallel_nodes = 0;
+  std::atomic<std::int64_t> pool_busy_ns{0};
   {
     ThreadPool pool(out.threads_used);
     Stopwatch parallel_sw;
     parallel_for(pool, k, [&](int i) {
+      const std::int64_t task_start_ns = obs::now_ns();
       SweepSeed& s = out.seeds[static_cast<std::size_t>(i)];
+      const std::map<std::string, long long> before = obs::local_counter_totals();
       const SolveOut r = solve_one(opt.scale, s.seed, opt.time_limit_s, /*presolve=*/true);
+      s.parallel_counters = counter_delta(before, obs::local_counter_totals());
       s.parallel_s = r.seconds;
       s.parallel_obj = r.obj;
       s.parallel_nodes = r.nodes;
       s.parallel_status = r.status;
+      pool_busy_ns.fetch_add(obs::now_ns() - task_start_ns, std::memory_order_relaxed);
     });
     out.parallel_wall_s = parallel_sw.seconds();
   }
   for (const SweepSeed& s : out.seeds) parallel_nodes += s.parallel_nodes;
+  out.pool_busy_ns = pool_busy_ns.load(std::memory_order_relaxed);
+  out.pool_idle_ns = std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(static_cast<double>(out.threads_used) *
+                                   out.parallel_wall_s * 1e9) -
+             out.pool_busy_ns);
 
   // Two solves are only COMPARABLE when both carry a proof: a run that hit
   // the time/node cap (kFeasible / kUnknown) stopped at a wall-clock-dependent
@@ -185,6 +213,10 @@ SweepResult run_sweep(const SweepOptions& opt) {
     }
   }
 
+  // Snapshot the live merged histograms BEFORE closing the session so nested
+  // runs (sweep inside --stats) export the same summaries as owned ones.
+  out.hists = obs::hist_totals();
+  out.peak_rss_bytes = obs::peak_rss_bytes();
   if (own_session) obs::stop();
 
   out.speedup = out.parallel_wall_s > 0.0 ? out.serial_wall_s / out.parallel_wall_s : 0.0;
@@ -208,10 +240,11 @@ json::Value SweepResult::to_json(const SweepOptions& opt) const {
     off_stats.add(s.presolve_off_s);
     serial_node_total += s.serial_nodes;
     parallel_node_total += s.parallel_nodes;
-    json::Object counters;
-    for (const auto& [name, delta] : s.counters) {
-      counters.emplace_back(name, static_cast<std::int64_t>(delta));
-    }
+    const auto counters_json = [](const std::map<std::string, long long>& m) {
+      json::Object o;
+      for (const auto& [name, delta] : m) o.emplace_back(name, static_cast<std::int64_t>(delta));
+      return o;
+    };
     per_seed.push_back(json::Object{
         {"seed", static_cast<std::int64_t>(s.seed)},
         {"serial_s", s.serial_s},
@@ -238,11 +271,27 @@ json::Value SweepResult::to_json(const SweepOptions& opt) const {
                       {"coef_tightenings", s.presolve.coef_tightenings},
                       {"fixings", s.presolve.fixings},
                       {"rounds", s.presolve.rounds}}},
-        {"counters", std::move(counters)},
+        {"counters", counters_json(s.counters)},
+        {"parallel_counters", counters_json(s.parallel_counters)},
+        {"presolve_off_counters", counters_json(s.presolve_off_counters)},
     });
   }
+  json::Object hists_json;
+  for (const auto& [name, h] : hists) {
+    hists_json.emplace_back(name, json::Object{
+                                      {"count", static_cast<double>(h.count)},
+                                      {"mean", h.mean()},
+                                      {"p50", h.percentile(50)},
+                                      {"p90", h.percentile(90)},
+                                      {"p99", h.percentile(99)},
+                                      {"min", h.min},
+                                      {"max", h.max},
+                                  });
+  }
+  const double pool_budget_ns =
+      static_cast<double>(pool_busy_ns) + static_cast<double>(pool_idle_ns);
   return json::Object{
-      {"schema", "nocdeploy-sweep/3"},
+      {"schema", "nocdeploy-sweep/4"},
       {"config",
        json::Object{{"seeds", opt.seeds},
                     {"first_seed", static_cast<std::int64_t>(opt.first_seed)},
@@ -256,10 +305,16 @@ json::Value SweepResult::to_json(const SweepOptions& opt) const {
                               {"nodes", serial_node_total},
                               {"nodes_per_s", serial_nodes_per_s},
                               {"seconds_per_seed", stats_json(serial_stats)}}},
-      {"parallel", json::Object{{"wall_clock_s", parallel_wall_s},
-                                {"nodes", parallel_node_total},
-                                {"nodes_per_s", parallel_nodes_per_s},
-                                {"seconds_per_seed", stats_json(parallel_stats)}}},
+      {"parallel",
+       json::Object{{"wall_clock_s", parallel_wall_s},
+                    {"nodes", parallel_node_total},
+                    {"nodes_per_s", parallel_nodes_per_s},
+                    {"seconds_per_seed", stats_json(parallel_stats)},
+                    {"pool_busy_ns", static_cast<double>(pool_busy_ns)},
+                    {"pool_idle_ns", static_cast<double>(pool_idle_ns)},
+                    {"pool_utilization",
+                     pool_budget_ns > 0.0 ? static_cast<double>(pool_busy_ns) / pool_budget_ns
+                                          : 0.0}}},
       {"presolve_off", json::Object{{"wall_clock_s", presolve_off_wall_s},
                                     {"seconds_per_seed", stats_json(off_stats)}}},
       {"speedup", speedup},
@@ -268,6 +323,8 @@ json::Value SweepResult::to_json(const SweepOptions& opt) const {
       {"presolve_mismatches", presolve_mismatches},
       {"rows_removed_total", rows_removed_total},
       {"cols_removed_total", cols_removed_total},
+      {"histograms", std::move(hists_json)},
+      {"peak_rss_bytes", static_cast<double>(peak_rss_bytes)},
       {"per_seed", std::move(per_seed)},
   };
 }

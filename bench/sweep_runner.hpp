@@ -14,7 +14,7 @@
 // machine.
 //
 // `nocdeploy-cli sweep` wraps this and writes the result as BENCH_sweep.json
-// (schema "nocdeploy-sweep/3"; see EXPERIMENTS.md for the field reference).
+// (schema "nocdeploy-sweep/4"; see EXPERIMENTS.md for the field reference).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +25,7 @@
 #include "bench_common.hpp"
 #include "common/json.hpp"
 #include "milp/branch_and_bound.hpp"
+#include "obs/obs.hpp"
 
 namespace nd::bench {
 
@@ -58,11 +59,14 @@ struct SweepSeed {
   bool presolve_match = false;  ///< on/off objectives agree (same gating as `match`)
   /// Root presolve tallies of the (presolve-on) serial solve.
   lp::PresolveStats presolve;
-  /// Obs counter deltas bracketing this seed's SERIAL solve (the serial phase
-  /// runs one instance at a time, so the delta is attributable; the pooled
-  /// phase interleaves seeds and gets no per-seed snapshot). Empty when
-  /// NOCDEPLOY_OBS is compiled out.
-  std::map<std::string, long long> counters;
+  /// Obs counter deltas bracketing this seed's solve in each phase, all
+  /// attributable: the serial and presolve-off phases run one instance at a
+  /// time on the calling thread, and each pooled instance runs entirely on
+  /// one worker thread, so obs::local_counter_totals() brackets it even while
+  /// other workers emit. All empty when NOCDEPLOY_OBS is compiled out.
+  std::map<std::string, long long> counters;               ///< serial, presolve on
+  std::map<std::string, long long> parallel_counters;      ///< pooled phase
+  std::map<std::string, long long> presolve_off_counters;  ///< raw-model phase
 };
 
 struct SweepResult {
@@ -80,9 +84,21 @@ struct SweepResult {
   int presolve_mismatches = 0;
   int rows_removed_total = 0;
   int cols_removed_total = 0;
+  /// Pooled-phase worker accounting (plain monotonic-clock sums, so they are
+  /// populated with or without the obs layer): busy_ns is the summed in-task
+  /// wall time across workers, idle_ns is threads x phase wall minus that —
+  /// together they say WHY a speedup number is what it is (tail-seed idling
+  /// vs genuine contention).
+  std::int64_t pool_busy_ns = 0;
+  std::int64_t pool_idle_ns = 0;
+  /// Merged histogram snapshot of the sweep's obs session (empty when the
+  /// layer is compiled out). Nested sessions (sweep under --stats) include
+  /// whatever the outer session had already recorded.
+  std::map<std::string, obs::HistStat> hists;
+  std::int64_t peak_rss_bytes = 0;  ///< process high-water at sweep end
   std::vector<SweepSeed> seeds;
 
-  /// The BENCH_sweep.json document (schema "nocdeploy-sweep/3").
+  /// The BENCH_sweep.json document (schema "nocdeploy-sweep/4").
   [[nodiscard]] json::Value to_json(const SweepOptions& opt) const;
 };
 

@@ -7,13 +7,26 @@
 // thrown exception.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace nd {
 
+/// Observer invoked just before an internal-invariant failure (ND_ASSERT /
+/// ND_INVARIANT) throws. The obs layer registers a flight-recorder dump here
+/// so the structured log history survives the unwind. Deliberately NOT fired
+/// for ND_REQUIRE: precondition violations are caller errors that tests
+/// trigger on purpose. Hooks must not throw.
+using CheckFailureHook = void (*)(const char* what);
+
 namespace detail {
+inline std::atomic<CheckFailureHook>& check_failure_hook() {
+  static std::atomic<CheckFailureHook> hook{nullptr};
+  return hook;
+}
+
 [[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
                                        const std::string& msg) {
   std::ostringstream os;
@@ -26,9 +39,17 @@ namespace detail {
   std::ostringstream os;
   os << "internal invariant violated: " << expr << " at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
-  throw std::logic_error(os.str());
+  const std::string what = os.str();
+  if (CheckFailureHook hook = check_failure_hook().load(std::memory_order_relaxed))
+    hook(what.c_str());
+  throw std::logic_error(what);
 }
 }  // namespace detail
+
+/// Install (or clear, with nullptr) the invariant-failure observer.
+inline void set_check_failure_hook(CheckFailureHook hook) {
+  detail::check_failure_hook().store(hook, std::memory_order_relaxed);
+}
 
 }  // namespace nd
 

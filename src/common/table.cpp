@@ -1,7 +1,8 @@
 #include "common/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <iomanip>
+#include <locale>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -50,22 +51,41 @@ std::string Table::to_csv(const std::string& tag) const {
   return os.str();
 }
 
+// All numeric formatting goes through a std::locale::classic() stream, never
+// snprintf: printf-family output honours the process locale (LC_NUMERIC), so
+// a de_DE.UTF-8 environment would print "0,500" and break golden tests and
+// machine-readable CSV alike. The classic locale pins '.' and no grouping on
+// every platform.
+namespace {
+std::ostringstream classic_stream() {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  return os;
+}
+}  // namespace
+
 std::string fmt_f(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
-  return buf;
+  std::ostringstream os = classic_stream();
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
 }
 
 std::string fmt_e(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
-  return buf;
+  std::ostringstream os = classic_stream();
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_g(double v, int sig_digits) {
+  std::ostringstream os = classic_stream();
+  os << std::defaultfloat << std::setprecision(sig_digits) << v;
+  return os.str();
 }
 
 std::string fmt_i(long long v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%lld", v);
-  return buf;
+  std::ostringstream os = classic_stream();
+  os << v;
+  return os.str();
 }
 
 }  // namespace nd

@@ -32,11 +32,20 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Fixed-precision double formatting ("%.*f").
+// The fmt_* helpers format through std::locale::classic() streams (never the
+// process locale), so output is byte-identical across platforms and LANG
+// settings and can be golden-tested.
+
+/// Fixed-precision double formatting (like "%.*f").
 std::string fmt_f(double v, int precision = 3);
 
-/// Scientific formatting ("%.*e").
+/// Scientific formatting (like "%.*e").
 std::string fmt_e(double v, int precision = 3);
+
+/// Compact general formatting with `sig_digits` significant digits (like
+/// "%.*g") — spans magnitudes from iteration counts to nanoseconds without
+/// fixed-point digit blowup.
+std::string fmt_g(double v, int sig_digits = 6);
 
 /// Integer formatting.
 std::string fmt_i(long long v);

@@ -783,6 +783,10 @@ void emit_lp_counters(const Simplex& engine) {
   ND_OBS_COUNT("lp.refactorizations", c.refactorizations);
   ND_OBS_COUNT("lp.phase1_iterations", c.phase1_iters);
   ND_OBS_COUNT("lp.phase2_iterations", c.phase2_iters);
+  // Cumulative tableau allocation across engines: memory as a first-class
+  // metric next to the time counters (docs/observability.md, "Memory").
+  ND_OBS_COUNT("mem.lp.tableau_bytes", engine.tableau_bytes());
+  ND_OBS_HIST("lp.iters_per_solve", engine.iterations());
 #else
   (void)engine;
 #endif

@@ -109,6 +109,12 @@ class Simplex {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Dense-tableau footprint in bytes — the engine's dominant allocation
+  /// (m x nt doubles). Feeds the mem.lp.tableau_bytes telemetry counter.
+  [[nodiscard]] long long tableau_bytes() const {
+    return static_cast<long long>(tab_.capacity() * sizeof(double));
+  }
+
   /// Status of the most recent solve()/dual_resolve() call.
   [[nodiscard]] SolveStatus last_status() const { return last_status_; }
 

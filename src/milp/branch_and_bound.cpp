@@ -148,6 +148,10 @@ MipResult solve(const Model& model, const MipOptions& opt) {
     emit_bnb_tally(tally, res.nodes);
     ND_OBS_COUNT("bnb.cold_solves", engine.counters().solves);
     ND_OBS_COUNT("bnb.warm_resolves", engine.counters().dual_resolves);
+    if (aud != nullptr) {
+      ND_OBS_COUNT("mem.audit.bytes",
+                   static_cast<long long>(aud->nodes.capacity() * sizeof(AuditNode)));
+    }
     lp::emit_lp_counters(engine);
   };
 
@@ -252,6 +256,8 @@ MipResult solve(const Model& model, const MipOptions& opt) {
   };
 
   while (!hit_limit) {
+    // Per-node latency distribution; covers every exit path of the iteration.
+    const obs::HistTimer node_timer("bnb.node_ns", opt.telemetry);
     ++res.nodes;
     if (aud != nullptr) {
       // Processing stamp: overwrites the creation stamp so the node's time
@@ -260,6 +266,10 @@ MipResult solve(const Model& model, const MipOptions& opt) {
     }
     if (clock.seconds() > opt.time_limit_s || res.nodes > opt.node_limit) {
       if (aud != nullptr) aud->nodes[static_cast<std::size_t>(cur_node)].disp = NodeDisp::kLimit;
+      ND_OBS_LOG(obs::LogLevel::kWarn, "bnb-limit",
+                 {"nodes", static_cast<long long>(res.nodes)},
+                 {"seconds", clock.seconds()},
+                 {"incumbent", have_incumbent ? incumbent_obj : 0.0});
       hit_limit = true;
       break;
     }

@@ -281,7 +281,7 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
     // The session span closes at the end of this loop iteration (after the
     // local stack drains), giving each popped subtree one trace slice on
     // this worker's lane; busy_ns accumulates the same window.
-    const obs::Span session_span("bnb.par.subtree", opt.telemetry);
+    const obs::Span session_span("bnb.par.subtree", opt.telemetry, /*hist=*/true);
     const std::int64_t session_start_ns = obs::now_ns();
     ++subtree_sessions;
     if (opt.telemetry) ND_OBS_VALUE("bnb.par.queue_depth", queue_depth);
@@ -289,6 +289,9 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
     bool fresh = true;   // cur is a cross-subtree jump: cold-solve it
     bool working = true;
     while (working) {
+      // Same distribution as the sequential solver: one sample per node, so
+      // serial and parallel node-time histograms compare like-for-like.
+      const obs::HistTimer node_timer("bnb.node_ns", opt.telemetry);
       working = false;
       AuditNode node;
       node.id = cur.id;
@@ -466,6 +469,9 @@ void worker_main(const SearchConfig& cfg, SearchState& st, AuditShard& shard) {
       }
 
       if (hit_limit) {
+        ND_OBS_LOG(obs::LogLevel::kWarn, "bnb-par-limit",
+                   {"nodes", static_cast<long long>(node_count)},
+                   {"worker", ThreadPool::current_worker_index()});
         {
           const std::lock_guard<std::mutex> stop_lock(st.queue_mu);
           st.stop = true;

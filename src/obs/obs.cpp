@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
 #include <limits>
 #include <mutex>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common/check.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 
@@ -63,6 +71,104 @@ void fold_timer(TimerStat& s, std::int64_t dur_ns) {
 
 }  // namespace
 
+// -- HistStat (both builds: a pure value type usable by bench diff) ---------
+
+int HistStat::bucket_index(double v) {
+  // NaN and anything below 1 fall into bucket 0; frexp gives v = m * 2^exp
+  // with m in [0.5, 1), so floor(log2 v) = exp - 1 and the [2^(b-1), 2^b)
+  // bucket index is exp itself.
+  if (!(v >= 1.0)) return 0;
+  int exp = 0;
+  std::frexp(v, &exp);
+  return std::min(exp, kNumBuckets - 1);
+}
+
+double HistStat::bucket_lo(int b) {
+  return b <= 0 ? 0.0 : std::ldexp(1.0, b - 1);
+}
+
+double HistStat::bucket_hi(int b) {
+  return b >= kNumBuckets - 1 ? std::numeric_limits<double>::infinity()
+                              : std::ldexp(1.0, b);
+}
+
+void HistStat::observe(double v) {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  add_saturating(buckets[static_cast<std::size_t>(bucket_index(v))], 1LL);
+}
+
+void HistStat::merge(const HistStat& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  add_saturating(count, other.count);
+  sum += other.sum;
+  for (int b = 0; b < kNumBuckets; ++b)
+    add_saturating(buckets[static_cast<std::size_t>(b)],
+                   other.buckets[static_cast<std::size_t>(b)]);
+}
+
+double HistStat::percentile(double p) const {
+  if (count <= 0) return 0.0;
+  if (p <= 0.0) return min;
+  if (p >= 100.0) return max;
+  const double rank = p / 100.0 * static_cast<double>(count);
+  long long seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const long long in_bucket = buckets[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += in_bucket;
+    if (static_cast<double>(seen) < rank) continue;
+    // Linear interpolation inside the winning bucket, clamped to the
+    // observed range (bucket 63's upper boundary is unbounded, and the true
+    // extremes are tighter than the power-of-two walls anyway).
+    const double lo = std::max(bucket_lo(b), min);
+    const double hi = std::min(bucket_hi(b), max);
+    if (hi <= lo) return std::clamp(lo, min, max);
+    const double frac = (rank - before) / static_cast<double>(in_bucket);
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::int64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 #if ND_OBS_ENABLED
 
 namespace {
@@ -72,11 +178,13 @@ struct Shard {
   std::map<std::string, long long> counters;
   std::map<std::string, ValueStat> values;
   std::map<std::string, TimerStat> timers;
+  std::map<std::string, HistStat> hists;
   std::vector<SpanEvent> events;
 };
 
 void merge_shard(Shard& dst, const Shard& src) {
   for (const auto& [name, v] : src.counters) add_saturating(dst.counters[name], v);
+  for (const auto& [name, v] : src.hists) dst.hists[name].merge(v);
   for (const auto& [name, v] : src.values) {
     ValueStat& d = dst.values[name];
     if (d.count == 0) {
@@ -158,7 +266,163 @@ int current_tid() {
   return w >= 0 ? w + 1 : 0;
 }
 
+// -- Flight recorder internals ----------------------------------------------
+// Mirrors the counter registry shape: one ring per thread guarded by its own
+// mutex, a global list of live rings, a bounded retired queue for threads
+// that exit, and deterministic merge order (t_ns, ring id, sequence). Events
+// are rendered to their JSONL line at log() time so a dump never allocates
+// per-event state under pressure.
+
+struct FlightEntry {
+  std::int64_t t_ns = 0;
+  std::uint64_t ring_id = 0;
+  std::uint64_t seq = 0;
+  std::string line;  ///< rendered JSONL object, no trailing newline
+};
+
+struct FlightRing;
+
+struct FlightGlobal {
+  std::mutex mu;  ///< guards live/retired/sink; taken before any FlightRing::mu
+  std::vector<FlightRing*> live;
+  std::deque<FlightEntry> retired;  ///< exited threads' events, bounded
+  std::uint64_t next_ring_id = 1;
+  std::string sink_path;  ///< empty = stderr
+};
+
+FlightGlobal& fg() {
+  static FlightGlobal* global = new FlightGlobal;  // leaked by design, like g()
+  return *global;
+}
+
+struct FlightRing {
+  std::mutex mu;
+  std::uint64_t id = 0;
+  std::uint64_t next_seq = 0;
+  std::deque<FlightEntry> entries;  ///< oldest at front, capped at capacity
+
+  FlightRing() {
+    FlightGlobal& global = fg();
+    const std::lock_guard<std::mutex> lock(global.mu);
+    id = global.next_ring_id++;
+    global.live.push_back(this);
+  }
+
+  ~FlightRing() {
+    FlightGlobal& global = fg();
+    const std::lock_guard<std::mutex> lock(global.mu);
+    for (FlightEntry& e : entries) global.retired.push_back(std::move(e));
+    while (global.retired.size() > static_cast<std::size_t>(kFlightRingCapacity))
+      global.retired.pop_front();
+    global.live.erase(std::remove(global.live.begin(), global.live.end(), this),
+                      global.live.end());
+  }
+};
+
+FlightRing& local_flight_ring() {
+  thread_local FlightRing ring;
+  return ring;
+}
+
+std::string render_flight_line(std::int64_t t_ns, int tid, LogLevel level,
+                               const char* code,
+                               std::initializer_list<LogKv> kvs) {
+  json::Object o;
+  o.emplace_back("t_ns", static_cast<double>(t_ns));
+  o.emplace_back("tid", tid);
+  o.emplace_back("level", to_string(level));
+  o.emplace_back("code", code);
+  for (const LogKv& kv : kvs) {
+    if (kv.is_num) {
+      o.emplace_back(kv.key, kv.num);
+    } else {
+      o.emplace_back(kv.key, kv.str);
+    }
+  }
+  return json::Value(std::move(o)).dump();
+}
+
+/// Invariant failures (ND_ASSERT / ND_INVARIANT) become error-level flight
+/// events, which auto-dump the recorder before the exception unwinds.
+void invariant_flight_hook(const char* what) {
+  log(LogLevel::kError, "invariant-failure", {{"what", what}});
+}
+
+const struct HookRegistrar {
+  HookRegistrar() { set_check_failure_hook(&invariant_flight_hook); }
+} hook_registrar;
+
 }  // namespace
+
+void log(LogLevel level, const char* code, std::initializer_list<LogKv> kvs) {
+  const std::int64_t t = now_ns();
+  FlightEntry e;
+  e.t_ns = t;
+  e.line = render_flight_line(t, current_tid(), level, code, kvs);
+  FlightRing& ring = local_flight_ring();
+  {
+    const std::lock_guard<std::mutex> lock(ring.mu);
+    e.ring_id = ring.id;
+    e.seq = ring.next_seq++;
+    ring.entries.push_back(std::move(e));
+    if (ring.entries.size() > static_cast<std::size_t>(kFlightRingCapacity))
+      ring.entries.pop_front();
+  }
+  if (level == LogLevel::kError) dump_flight(code);
+}
+
+void set_log_sink(const std::string& path) {
+  FlightGlobal& global = fg();
+  const std::lock_guard<std::mutex> lock(global.mu);
+  global.sink_path = path;
+}
+
+std::vector<std::string> flight_lines() {
+  FlightGlobal& global = fg();
+  std::vector<FlightEntry> all;
+  {
+    const std::lock_guard<std::mutex> lock(global.mu);
+    all.assign(global.retired.begin(), global.retired.end());
+    for (FlightRing* r : global.live) {
+      const std::lock_guard<std::mutex> rl(r->mu);
+      all.insert(all.end(), r->entries.begin(), r->entries.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const FlightEntry& a, const FlightEntry& b) {
+    if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+    if (a.ring_id != b.ring_id) return a.ring_id < b.ring_id;
+    return a.seq < b.seq;
+  });
+  std::vector<std::string> lines;
+  lines.reserve(all.size());
+  for (FlightEntry& e : all) lines.push_back(std::move(e.line));
+  return lines;
+}
+
+void dump_flight(const char* reason) {
+  const std::vector<std::string> lines = flight_lines();
+  const std::string header = render_flight_line(
+      now_ns(), current_tid(), LogLevel::kInfo, "flight-dump",
+      {{"reason", reason}, {"events", static_cast<long long>(lines.size())}});
+  std::string sink;
+  {
+    FlightGlobal& global = fg();
+    const std::lock_guard<std::mutex> lock(global.mu);
+    sink = global.sink_path;
+  }
+  std::FILE* out = stderr;
+  bool close_out = false;
+  if (!sink.empty()) {
+    if (std::FILE* f = std::fopen(sink.c_str(), "a")) {
+      out = f;
+      close_out = true;
+    }
+  }
+  std::fprintf(out, "%s\n", header.c_str());
+  for (const std::string& line : lines) std::fprintf(out, "%s\n", line.c_str());
+  std::fflush(out);
+  if (close_out) std::fclose(out);
+}
 
 bool start(bool with_trace) {
   Global& global = g();
@@ -194,7 +458,9 @@ Profile stop() {
   p.counters = std::move(all.counters);
   p.values = std::move(all.values);
   p.timers = std::move(all.timers);
+  p.hists = std::move(all.hists);
   p.events = std::move(all.events);
+  p.peak_rss_bytes = peak_rss_bytes();
   // Deterministic event order for any fixed multiset of events: registry ids
   // are unique, (reg_id, seq) orders each registry's emissions.
   std::sort(p.events.begin(), p.events.end(),
@@ -221,6 +487,23 @@ std::map<std::string, long long> counter_totals() {
   return totals;
 }
 
+std::map<std::string, long long> local_counter_totals() {
+  Registry& r = local_registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.data.counters;
+}
+
+std::map<std::string, HistStat> hist_totals() {
+  Global& global = g();
+  const std::lock_guard<std::mutex> lock(global.mu);
+  std::map<std::string, HistStat> totals = global.retired.hists;
+  for (Registry* r : global.live) {
+    const std::lock_guard<std::mutex> rl(r->mu);
+    for (const auto& [name, h] : r->data.hists) totals[name].merge(h);
+  }
+  return totals;
+}
+
 void counter_add(const std::string& name, long long delta) {
   if (g().mode.load(std::memory_order_relaxed) == 0) return;
   Registry& r = local_registry();
@@ -233,6 +516,13 @@ void value_observe(const std::string& name, double v) {
   Registry& r = local_registry();
   const std::lock_guard<std::mutex> lock(r.mu);
   fold_value(r.data.values[name], v);
+}
+
+void hist_observe(const std::string& name, double v) {
+  if (g().mode.load(std::memory_order_relaxed) == 0) return;
+  Registry& r = local_registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.data.hists[name].observe(v);
 }
 
 void instant(const std::string& name, double v) {
@@ -255,11 +545,12 @@ void instant(const std::string& name, double v) {
   }
 }
 
-Span::Span(const char* name, bool armed) {
+Span::Span(const char* name, bool armed, bool hist) {
   if (!armed || g().mode.load(std::memory_order_relaxed) == 0) return;
   name_ = name;
   start_ = now_ns();
   depth_ = ThreadPool::open_spans()++;
+  hist_ = hist;
 }
 
 Span::~Span() {
@@ -271,6 +562,8 @@ Span::~Span() {
   Registry& r = local_registry();
   const std::lock_guard<std::mutex> lock(r.mu);
   fold_timer(r.data.timers[name_], end - start_);
+  if (hist_)
+    r.data.hists[std::string(name_) + ".ns"].observe(static_cast<double>(end - start_));
   if (mode == 2) {
     SpanEvent ev;
     ev.name = name_;
@@ -284,6 +577,21 @@ Span::~Span() {
   }
 }
 
+HistTimer::HistTimer(const char* name, bool armed) {
+  if (!armed || g().mode.load(std::memory_order_relaxed) == 0) return;
+  name_ = name;
+  start_ = now_ns();
+}
+
+HistTimer::~HistTimer() {
+  if (start_ < 0) return;
+  if (g().mode.load(std::memory_order_relaxed) == 0) return;
+  const std::int64_t end = now_ns();
+  Registry& r = local_registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.data.hists[name_].observe(static_cast<double>(end - start_));
+}
+
 #else  // !ND_OBS_ENABLED — session stubs; exporters below stay available.
 
 bool start(bool /*with_trace*/) { return false; }
@@ -291,6 +599,8 @@ Profile stop() { return Profile{}; }
 bool collecting() { return false; }
 bool tracing() { return false; }
 std::map<std::string, long long> counter_totals() { return {}; }
+std::map<std::string, long long> local_counter_totals() { return {}; }
+std::map<std::string, HistStat> hist_totals() { return {}; }
 
 #endif  // ND_OBS_ENABLED
 
@@ -335,6 +645,25 @@ std::string to_table(const Profile& p) {
     }
     if (!out.empty()) out += "\n";
     out += t.to_ascii();
+  }
+
+  if (!p.hists.empty()) {
+    // fmt_g: histogram units span iteration counts to nanoseconds, so compact
+    // significant-digit formatting beats fixed-point here.
+    Table t({"hist", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : p.hists) {
+      t.add_row({name, fmt_i(h.count), fmt_g(h.mean(), 6), fmt_g(h.percentile(50), 6),
+                 fmt_g(h.percentile(90), 6), fmt_g(h.percentile(99), 6),
+                 fmt_g(h.max, 6)});
+    }
+    if (!out.empty()) out += "\n";
+    out += t.to_ascii();
+  }
+
+  if (p.peak_rss_bytes > 0) {
+    if (!out.empty()) out += "\n";
+    out += "peak_rss_mb  " +
+           fmt_f(static_cast<double>(p.peak_rss_bytes) / (1024.0 * 1024.0), 1) + "\n";
   }
 
   if (out.empty()) out = "(no telemetry recorded)\n";
@@ -394,6 +723,19 @@ json::Value trace_to_json(const Profile& p) {
   for (const auto& [name, v] : p.counters)
     counters.emplace_back(name, static_cast<double>(v));
 
+  json::Object hists;
+  for (const auto& [name, h] : p.hists) {
+    hists.emplace_back(name, json::Object{
+                                 {"count", static_cast<double>(h.count)},
+                                 {"mean", h.mean()},
+                                 {"p50", h.percentile(50)},
+                                 {"p90", h.percentile(90)},
+                                 {"p99", h.percentile(99)},
+                                 {"min", h.min},
+                                 {"max", h.max},
+                             });
+  }
+
   return json::Object{
       {"traceEvents", std::move(events)},
       {"displayTimeUnit", "ms"},
@@ -402,7 +744,9 @@ json::Value trace_to_json(const Profile& p) {
            {"tool", "nocdeploy"},
            {"schema", "nocdeploy-trace/1"},
            {"session_ms", static_cast<double>(p.session_ns) * 1e-6},
+           {"peak_rss_bytes", static_cast<double>(p.peak_rss_bytes)},
            {"counters", std::move(counters)},
+           {"histograms", std::move(hists)},
        }},
   };
 }

@@ -1,8 +1,11 @@
 // Zero-overhead-when-disabled instrumentation layer: scoped RAII spans on a
-// monotonic clock, named counters and value statistics on thread-local
-// registries, drained into one deterministic Profile, and two exporters — a
-// human-readable stats table (common/table) and Chrome trace_event JSON
-// (loadable in chrome://tracing or https://ui.perfetto.dev).
+// monotonic clock, named counters, value statistics and fixed-boundary
+// log-scale histograms on thread-local registries, drained into one
+// deterministic Profile, and two exporters — a human-readable stats table
+// (common/table) and Chrome trace_event JSON (loadable in chrome://tracing
+// or https://ui.perfetto.dev). A separate always-on flight recorder collects
+// structured log events into bounded per-thread rings and dumps them as
+// JSONL on the first error-level event (see obs::log below).
 //
 // Gating has two levels:
 //   * compile time — the CMake option NOCDEPLOY_OBS (default ON) defines the
@@ -24,7 +27,9 @@
 // See docs/observability.md for the full model and exporter formats.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -60,13 +65,103 @@ struct TimerStat {
   std::int64_t max_ns = 0;
 };
 
-/// Aggregate for a named observed value (gauge/histogram summary).
+/// Aggregate for a named observed value (gauge summary).
 struct ValueStat {
   long long count = 0;
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
 };
+
+/// Fixed-boundary log-scale histogram. Every histogram in the process shares
+/// the same 64 power-of-two buckets — bucket 0 holds v < 1, bucket b
+/// (1..62) holds [2^(b-1), 2^b), bucket 63 holds v >= 2^62 — so merging two
+/// histograms is a bucket-wise saturating add and therefore deterministic
+/// for any fixed multiset of observations, whatever the thread interleaving.
+/// The shared boundaries cover nanosecond durations (1 ns .. ~146 years)
+/// and iteration/event counts alike; percentile queries interpolate linearly
+/// inside the winning bucket and clamp to the observed [min, max].
+struct HistStat {
+  static constexpr int kNumBuckets = 64;
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<long long, kNumBuckets> buckets{};
+
+  /// Bucket that observation `v` falls into (NaN and v < 1 land in 0).
+  static int bucket_index(double v);
+  /// Inclusive lower / exclusive upper boundary of bucket `b`.
+  static double bucket_lo(int b);
+  static double bucket_hi(int b);
+
+  /// Fold one observation in (no locking — callers own the instance).
+  void observe(double v);
+  /// Bucket-wise deterministic merge (saturating adds).
+  void merge(const HistStat& other);
+  /// Estimated percentile, p in [0, 100]. Deterministic: linear
+  /// interpolation within the bucket containing rank p/100*count, clamped
+  /// to the observed min/max. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+// -- Flight recorder --------------------------------------------------------
+// Structured log events flow into a bounded per-thread ring buffer the
+// moment the layer is compiled in — no session required, so the recorder
+// always holds the recent history when something goes wrong. An error-level
+// event dumps the merged rings as JSONL (one JSON object per line, sorted
+// by timestamp) to the configured sink: stderr by default, or the file set
+// via set_log_sink() (the CLI's --log-json flag). ND_INVARIANT trips route
+// through the same path via the common/check failure hook.
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* to_string(LogLevel level);
+
+/// One key/value pair of a structured log event: numeric or string payload.
+struct LogKv {
+  const char* key;
+  bool is_num;
+  double num = 0.0;
+  std::string str;
+  LogKv(const char* k, double v) : key(k), is_num(true), num(v) {}
+  LogKv(const char* k, long long v)
+      : key(k), is_num(true), num(static_cast<double>(v)) {}
+  LogKv(const char* k, int v) : key(k), is_num(true), num(v) {}
+  LogKv(const char* k, const char* v) : key(k), is_num(false), str(v) {}
+  LogKv(const char* k, std::string v) : key(k), is_num(false), str(std::move(v)) {}
+};
+
+/// Capacity of each per-thread ring (newest events win once full).
+constexpr int kFlightRingCapacity = 256;
+
+#if ND_OBS_ENABLED
+/// Record one structured event. `code` is a stable kebab-case identifier
+/// (e.g. "bnb-limit"); kvs become fields of the JSONL object. An
+/// error-level event additionally dumps the whole merged flight log to the
+/// sink, so the history leading up to the failure is preserved.
+void log(LogLevel level, const char* code, std::initializer_list<LogKv> kvs = {});
+/// Route flight dumps to `path` (appended as JSONL); empty = stderr.
+void set_log_sink(const std::string& path);
+/// Rendered JSONL lines of the current merged ring contents, oldest first.
+std::vector<std::string> flight_lines();
+/// Force a dump of the current flight log to the sink (error events do this
+/// automatically; solver drivers call it on failure exits).
+void dump_flight(const char* reason);
+#else
+inline void log(LogLevel, const char*, std::initializer_list<LogKv> = {}) {}
+inline void set_log_sink(const std::string&) {}
+inline std::vector<std::string> flight_lines() { return {}; }
+inline void dump_flight(const char*) {}
+#endif
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+/// Available in BOTH build flavours, like now_ns — memory is a first-class
+/// metric in sweep documents even when telemetry is compiled out.
+std::int64_t peak_rss_bytes();
 
 /// One completed span occurrence (trace sessions only). dur_ns < 0 marks an
 /// instant event (exported with phase "i"); `value` then carries its payload.
@@ -86,8 +181,10 @@ struct Profile {
   std::map<std::string, long long> counters;
   std::map<std::string, ValueStat> values;
   std::map<std::string, TimerStat> timers;
+  std::map<std::string, HistStat> hists;
   std::vector<SpanEvent> events;       ///< empty unless the session traced
   std::int64_t session_ns = 0;         ///< stop() - start() wall time
+  std::int64_t peak_rss_bytes = 0;     ///< process peak RSS sampled at stop()
   bool traced = false;
 };
 
@@ -112,6 +209,17 @@ bool tracing();
 /// snapshots brackets a region — sweep_runner uses this per seed.
 std::map<std::string, long long> counter_totals();
 
+/// Counter totals of the CALLING thread's registry only (current session).
+/// Subtracting two snapshots brackets a region even while other threads are
+/// emitting — the sweep's pooled phase uses this for per-seed attribution,
+/// since each pooled instance solve runs entirely on one worker thread.
+std::map<std::string, long long> local_counter_totals();
+
+/// Live snapshot of merged histograms (current session) — lets a nested
+/// user (sweep inside --stats) export histogram summaries without owning
+/// the session.
+std::map<std::string, HistStat> hist_totals();
+
 // -- Emission ---------------------------------------------------------------
 // Free-function forms exist in both builds (no-op stubs when compiled out)
 // so options-gated call sites compile unchanged; the ND_OBS_* macros compile
@@ -122,24 +230,29 @@ std::map<std::string, long long> counter_totals();
 void counter_add(const std::string& name, long long delta);
 /// Fold `v` into the named value statistic (count/sum/min/max).
 void value_observe(const std::string& name, double v);
+/// Fold `v` into the named log-scale histogram (see HistStat).
+void hist_observe(const std::string& name, double v);
 /// value_observe + an instant mark on the trace timeline (phase "i").
 void instant(const std::string& name, double v);
 #else
 inline void counter_add(const std::string&, long long) {}
 inline void value_observe(const std::string&, double) {}
+inline void hist_observe(const std::string&, double) {}
 inline void instant(const std::string&, double) {}
 #endif
 
 /// RAII scoped span: records a TimerStat rollup always, and a SpanEvent when
 /// the session traces. `armed = false` (e.g. MipOptions::telemetry off)
-/// makes construction and destruction free.
+/// makes construction and destruction free. `hist = true` additionally
+/// folds the duration into the "<name>.ns" histogram, turning a repeated
+/// span (heuristic phases, simulator runs) into a latency distribution.
 class Span {
  public:
 #if ND_OBS_ENABLED
-  explicit Span(const char* name, bool armed = true);
+  explicit Span(const char* name, bool armed = true, bool hist = false);
   ~Span();
 #else
-  explicit Span(const char* /*name*/, bool /*armed*/ = true) {}
+  explicit Span(const char* /*name*/, bool /*armed*/ = true, bool /*hist*/ = false) {}
   ~Span() = default;
 #endif
   Span(const Span&) = delete;
@@ -150,6 +263,30 @@ class Span {
   const char* name_ = nullptr;
   std::int64_t start_ = -1;  ///< -1 = inactive (disarmed or no session)
   int depth_ = 0;
+  bool hist_ = false;
+#endif
+};
+
+/// RAII histogram-only timer: folds the scope's duration (ns) into the named
+/// histogram, with none of Span's trace-event or nesting-depth machinery —
+/// cheap enough for per-B&B-node latency distributions that would drown a
+/// trace timeline in events.
+class HistTimer {
+ public:
+#if ND_OBS_ENABLED
+  explicit HistTimer(const char* name, bool armed = true);
+  ~HistTimer();
+#else
+  explicit HistTimer(const char* /*name*/, bool /*armed*/ = true) {}
+  ~HistTimer() = default;
+#endif
+  HistTimer(const HistTimer&) = delete;
+  HistTimer& operator=(const HistTimer&) = delete;
+
+ private:
+#if ND_OBS_ENABLED
+  const char* name_ = nullptr;
+  std::int64_t start_ = -1;  ///< -1 = inactive (disarmed or no session)
 #endif
 };
 
@@ -173,6 +310,12 @@ json::Value trace_to_json(const Profile& p);
 #define ND_OBS_COUNT(name, delta) ::nd::obs::counter_add((name), (delta))
 #define ND_OBS_VALUE(name, v) ::nd::obs::value_observe((name), (v))
 #define ND_OBS_INSTANT(name, v) ::nd::obs::instant((name), (v))
+#define ND_OBS_HIST(name, v) ::nd::obs::hist_observe((name), (v))
+// Flight-recorder event; the trailing args are brace-enclosed LogKv pairs,
+// e.g. ND_OBS_LOG(LogLevel::kWarn, "bnb-limit", {"nodes", n}). Unlike the
+// obs::log free function this compiles out entirely, so arguments (string
+// construction included) are never evaluated in OFF builds.
+#define ND_OBS_LOG(level, code, ...) ::nd::obs::log((level), (code), {__VA_ARGS__})
 #else
 #define ND_OBS_COUNT(name, delta) \
   do {                            \
@@ -182,5 +325,11 @@ json::Value trace_to_json(const Profile& p);
   } while (false)
 #define ND_OBS_INSTANT(name, v) \
   do {                          \
+  } while (false)
+#define ND_OBS_HIST(name, v) \
+  do {                       \
+  } while (false)
+#define ND_OBS_LOG(level, code, ...) \
+  do {                               \
   } while (false)
 #endif

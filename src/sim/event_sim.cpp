@@ -113,11 +113,13 @@ SimResult simulate(const deploy::DeploymentProblem& p, const deploy::DeploymentS
     }
   };
 
-  const obs::Span run_span("sim.run");
+  const obs::Span run_span("sim.run", /*armed=*/true, /*hist=*/true);
   long long n_finish = 0, n_delivered = 0, n_hops = 0;
+  std::size_t peak_events = 0;  // queue high-water, sampled each event turn
 
   pump();
   while (!events.empty()) {
+    peak_events = std::max(peak_events, events.size());
     const Event ev = events.top();
     events.pop();
     now = ev.time;
@@ -187,12 +189,18 @@ SimResult simulate(const deploy::DeploymentProblem& p, const deploy::DeploymentS
   ND_OBS_COUNT("sim.events.task_finish", n_finish);
   ND_OBS_COUNT("sim.events.msg_delivered", n_delivered);
   ND_OBS_COUNT("sim.events.msg_hop", n_hops);
+  ND_OBS_HIST("sim.events_per_run", static_cast<double>(n_finish + n_delivered + n_hops));
+  ND_OBS_COUNT("mem.sim.event_queue_peak_bytes",
+               static_cast<long long>(peak_events * sizeof(Event)));
 
   res.completed = (remaining == 0);
   if (!res.completed) {
     std::ostringstream os;
     os << remaining << " task(s) never became ready (dispatch order deadlock)";
     res.anomalies.push_back(os.str());
+    ND_OBS_LOG(obs::LogLevel::kWarn, "sim-deadlock",
+               {"remaining", static_cast<long long>(remaining)},
+               {"events", n_finish + n_delivered + n_hops});
   }
 
   // Cross-check against the analytic schedule: simulation must not be later.

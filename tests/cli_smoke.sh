@@ -77,6 +77,53 @@ if "$CLI" profile --tasks 5 --rows 2 --cols 2 --iters 500 --time-limit 10 \
 fi
 grep -q "cannot write trace file" "$DIR/trace_err.txt"
 
+# Regression observatory: a tiny sweep writes a schema /4 document and
+# appends one JSONL line to the trajectory file per run.
+"$CLI" sweep --seeds 2 --tasks 3 --rows 2 --cols 2 --time-limit 10 \
+  -o "$DIR/sweep.json" --append-history "$DIR/traj.jsonl" | grep -q "wrote"
+grep -q '"schema": "nocdeploy-sweep/4"' "$DIR/sweep.json"
+test "$(wc -l < "$DIR/traj.jsonl")" = "1"
+grep -q '"serial_wall_s"' "$DIR/traj.jsonl"
+
+# bench diff: a document against itself is all within-noise (exit 0)...
+"$CLI" bench diff "$DIR/sweep.json" "$DIR/sweep.json" | grep -q "0 regression(s)"
+
+# ...a corrupted schema string makes the documents incomparable (exit 3)...
+sed 's/"schema": "nocdeploy-sweep\/4"/"schema": "nocdeploy-sweep\/0"/' \
+  "$DIR/sweep.json" > "$DIR/sweep_old_schema.json"
+set +e
+"$CLI" bench diff "$DIR/sweep_old_schema.json" "$DIR/sweep.json" \
+  > "$DIR/diff_schema.txt" 2>/dev/null
+rc=$?
+set -e
+test "$rc" = "3"
+grep -q "bench-diff-schema-mismatch" "$DIR/diff_schema.txt"
+
+# ...and a seeded 10x wall-clock regression gates with exit 1, with the
+# flight recorder's error-level gate event dumped to the --log-json sink.
+sed 's/"wall_clock_s": *\([0-9.eE+-]*\)/"wall_clock_s": 1e6/' "$DIR/sweep.json" \
+  > "$DIR/sweep_slow.json"
+set +e
+"$CLI" bench diff "$DIR/sweep.json" "$DIR/sweep_slow.json" \
+  --log-json "$DIR/flight.jsonl" > "$DIR/diff_slow.txt" 2>/dev/null
+rc=$?
+set -e
+test "$rc" = "1"
+grep -q "bench-diff-time-regression" "$DIR/diff_slow.txt"
+# The JSONL dump only exists when the obs layer is compiled in.
+if "$CLI" solve --problem "$DIR/prob.json" --method heuristic --stats \
+     | grep -q "compiled out"; then
+  test ! -s "$DIR/flight.jsonl"
+else
+  grep -q '"bench-diff-gate"' "$DIR/flight.jsonl"
+fi
+
+# bench usage errors: wrong arity and unknown subcommand exit 2.
+set +e
+"$CLI" bench diff "$DIR/sweep.json" 2>/dev/null; test "$?" = "2"
+"$CLI" bench frobnicate a b 2>/dev/null; test "$?" = "2"
+set -e
+
 # Error paths: bad file and usage errors must not return success.
 if "$CLI" validate --problem /nonexistent.json --solution "$DIR/sol.json" 2>/dev/null; then
   echo "expected failure on missing problem file" >&2

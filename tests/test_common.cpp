@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <locale>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/check.hpp"
@@ -122,6 +124,28 @@ TEST(Formatting, Helpers) {
   EXPECT_EQ(nd::fmt_f(1.23456, 2), "1.23");
   EXPECT_EQ(nd::fmt_i(-42), "-42");
   EXPECT_NE(nd::fmt_e(1234.5, 2).find("e+"), std::string::npos);
+  EXPECT_EQ(nd::fmt_g(0.5), "0.5");
+  EXPECT_EQ(nd::fmt_g(1234567.0, 3), "1.23e+06");
+  EXPECT_EQ(nd::fmt_g(42.0), "42");
+}
+
+// Table output is golden-testable: the formatters pin the classic "C" locale
+// explicitly, so a host locale with comma decimal separators (de_DE) cannot
+// leak into exported tables or sweep documents.
+TEST(Formatting, LocaleIndependent) {
+  const std::locale old = std::locale::global(std::locale::classic());
+  bool has_de = true;
+  try {
+    std::locale::global(std::locale("de_DE.UTF-8"));
+  } catch (const std::runtime_error&) {
+    has_de = false;  // locale not installed on this host — still exercise "C"
+  }
+  EXPECT_EQ(nd::fmt_f(0.5, 3), "0.500");
+  EXPECT_EQ(nd::fmt_f(1234.5, 1), "1234.5");  // no thousands grouping either
+  EXPECT_EQ(nd::fmt_g(0.25), "0.25");
+  EXPECT_NE(nd::fmt_e(1234.5, 2).find("1.23e+"), std::string::npos);
+  std::locale::global(old);
+  (void)has_de;
 }
 
 TEST(Check, RequireThrowsInvalidArgument) {

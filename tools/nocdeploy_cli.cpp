@@ -15,6 +15,9 @@
 //   nocdeploy crosscheck [--seeds N] [--first-seed S] [--tasks N] [--threads T] [--json]
 //   nocdeploy sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]
 //                      [--time-limit SEC] [-o BENCH_sweep.json] [--json]
+//                      [--append-history FILE]
+//   nocdeploy bench diff OLD.json NEW.json [--sigma X] [--rel-floor X]
+//                      [--abs-floor SEC] [--hist-rel X] [--json]
 //   nocdeploy profile  [--problem P.json] [--tasks N] [--rows R] [--cols C]
 //                      [--seed S] [--iters N] [--time-limit SEC] [--threads T]
 //
@@ -39,12 +42,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/certify_bnb.hpp"
+#include "bench_diff.hpp"
 #include "sweep_runner.hpp"
 #include "analysis/certify_lp.hpp"
 #include "analysis/exact/certify_bnb_exact.hpp"
@@ -77,6 +82,7 @@ namespace {
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
+  std::vector<std::string> positionals;  ///< non-flag operands (bench only)
 
   [[nodiscard]] std::string get(const std::string& key, const std::string& def = "") const {
     const auto it = flags.find(key);
@@ -114,10 +120,12 @@ int usage() {
                "           [--presolve on|off] [--mesh-variation V] [--no-sim] [--json]\n"
                "  sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]\n"
                "           [--rows R] [--cols C] [--time-limit SEC]\n"
-               "           [-o BENCH_sweep.json] [--json]\n"
+               "           [-o BENCH_sweep.json] [--json] [--append-history FILE]\n"
+               "  bench diff OLD.json NEW.json [--sigma X] [--rel-floor X]\n"
+               "           [--abs-floor SEC] [--hist-rel X] [--json]\n"
                "  profile  [--problem P.json] [--tasks N] [--rows R] [--cols C]\n"
                "           [--seed S] [--iters N] [--time-limit SEC] [--threads T]\n"
-               "global telemetry flags: [--stats] [--trace FILE]\n");
+               "global telemetry flags: [--stats] [--trace FILE] [--log-json FILE]\n");
   return 2;
 }
 
@@ -448,6 +456,10 @@ int cmd_certify(const Args& a) {
       rep.add(analysis::Severity::kError, analysis::codes::kXcheckMilpFailed, "milp",
               std::string("status '") + to_string(mip.status) +
                   "' despite a feasible warm start");
+      // Solver failure: flush the flight recorder so the events leading up to
+      // the failed solve survive (docs/observability.md).
+      ND_OBS_LOG(obs::LogLevel::kError, "milp-failed", {"status", to_string(mip.status)},
+                 {"nodes", static_cast<long long>(mip.nodes)});
     }
     if (!a.get("emit-certificate").empty()) {
       deploy::write_file(a.get("emit-certificate"),
@@ -536,7 +548,62 @@ int cmd_sweep(const Args& a) {
                 res.cols_removed_total, res.presolve_mismatches);
     if (!out.empty()) std::printf("wrote %s\n", out.c_str());
   }
+  // --append-history FILE: append one compact JSONL line per run so repeated
+  // sweeps build a perf trajectory (EXPERIMENTS.md). Compact dump is already
+  // locale-independent; std::time gives a plain unix timestamp.
+  const std::string hist_path = a.get("append-history");
+  if (!hist_path.empty()) {
+    json::Object line;
+    line.emplace_back("unix_time", static_cast<double>(std::time(nullptr)));
+    line.emplace_back("schema", std::string("nocdeploy-sweep/4"));
+    line.emplace_back("seeds", static_cast<double>(opt.seeds));
+    line.emplace_back("threads", static_cast<double>(res.threads_used));
+    line.emplace_back("serial_wall_s", res.serial_wall_s);
+    line.emplace_back("parallel_wall_s", res.parallel_wall_s);
+    line.emplace_back("presolve_off_wall_s", res.presolve_off_wall_s);
+    line.emplace_back("speedup", res.speedup);
+    line.emplace_back("presolve_speedup", res.presolve_speedup);
+    line.emplace_back("mismatches", static_cast<double>(res.mismatches));
+    line.emplace_back("peak_rss_bytes", static_cast<double>(res.peak_rss_bytes));
+    std::FILE* f = std::fopen(hist_path.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot append to history file '%s'\n", hist_path.c_str());
+      return 2;
+    }
+    const std::string dumped = json::Value(std::move(line)).dump();
+    std::fprintf(f, "%s\n", dumped.c_str());
+    std::fclose(f);
+    std::printf("appended %s\n", hist_path.c_str());
+  }
   return res.mismatches > 0 || res.presolve_mismatches > 0 ? 1 : 0;
+}
+
+/// `bench diff OLD.json NEW.json`: the regression observatory's CLI gate.
+/// Loads two sweep documents, runs the noise-aware comparator, prints the
+/// findings table (or --json) and exits with DiffResult's contract: 0 pass,
+/// 1 regression, 3 incomparable (2 stays reserved for usage errors).
+int cmd_bench(const Args& a) {
+  if (a.positionals.size() != 3 || a.positionals[0] != "diff") return usage();
+  bench::DiffOptions dopt;
+  dopt.sigma = a.num("sigma", dopt.sigma);
+  dopt.rel_floor = a.num("rel-floor", dopt.rel_floor);
+  dopt.abs_floor_s = a.num("abs-floor", dopt.abs_floor_s);
+  dopt.hist_rel = a.num("hist-rel", dopt.hist_rel);
+  const json::Value old_doc = json::parse(deploy::read_file(a.positionals[1]));
+  const json::Value new_doc = json::parse(deploy::read_file(a.positionals[2]));
+  const bench::DiffResult res = bench::diff_sweeps(old_doc, new_doc, dopt);
+  if (a.flags.count("json") != 0) {
+    std::printf("%s\n", res.to_json().dump(2).c_str());
+  } else {
+    std::printf("%s", res.to_table().c_str());
+  }
+  if (res.exit_code() != 0) {
+    // Gate failure is an error-level event: triggers the flight-recorder dump
+    // so CI logs carry the structured verdict alongside the table.
+    ND_OBS_LOG(obs::LogLevel::kError, "bench-diff-gate", {"regressions", res.regressions},
+               {"comparable", res.comparable ? "yes" : "no"});
+  }
+  return res.exit_code();
 }
 
 /// Build the `profile` subject: an explicit problem file when given,
@@ -638,6 +705,7 @@ int run_command(const Args& a) {
   if (a.command == "verify") return cmd_verify(a);
   if (a.command == "crosscheck") return cmd_crosscheck(a);
   if (a.command == "sweep") return cmd_sweep(a);
+  if (a.command == "bench") return cmd_bench(a);
   if (a.command == "profile") return cmd_profile(a);
   return usage();
 }
@@ -654,6 +722,11 @@ int main(int argc, char** argv) {
       key = key.substr(2);
     } else if (key.rfind('-', 0) == 0) {
       key = key.substr(1);
+    } else if (a.command == "bench") {
+      // `bench` takes positional operands (subcommand + two files); every
+      // other command is flag-only, where a bare word is a usage error.
+      a.positionals.push_back(key);
+      continue;
     } else {
       return usage();
     }
@@ -672,6 +745,10 @@ int main(int argc, char** argv) {
   const bool want_trace = !trace_path.empty();
   const bool want_stats = a.flags.count("stats") != 0 || a.command == "profile";
   const bool telemetry_on = want_stats || want_trace;
+  // --log-json FILE: route flight-recorder dumps (error-level events,
+  // invariant failures) to a JSONL file instead of stderr. Set before the
+  // command runs so early failures are captured too.
+  if (!a.get("log-json").empty()) obs::set_log_sink(a.get("log-json"));
   if (telemetry_on) obs::start(want_trace);
 
   int rc;
@@ -679,6 +756,10 @@ int main(int argc, char** argv) {
     rc = run_command(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // Error-level event flushes the flight recorder: whatever the subsystems
+    // logged before the throw lands in the --log-json sink (or stderr).
+    ND_OBS_LOG(obs::LogLevel::kError, "cli-exception", {"command", a.command},
+               {"what", std::string(e.what())});
     return 2;
   }
 
