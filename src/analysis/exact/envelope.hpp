@@ -52,4 +52,15 @@ inline double presolve_margin(std::size_t terms, double scale) {
   return 65536.0 * (static_cast<double>(terms) + 1.0) * u * (1.0 + scale);
 }
 
+// Relative stability floor for a product-form eta pivot (src/lp/basis_lu.cpp).
+// An eta whose pivot has relative magnitude ρ = |w_r| / ‖w‖∞ amplifies the
+// roundoff already present in every subsequent FTRAN/BTRAN by 1/ρ. Capping
+// the amplification at 2^20 keeps amplified unit roundoff at
+// 2^-53 · 2^20 = 2^-33 ≈ 1.2e-10 — below the simplex engines' 1e-9 pivot
+// decision floor, so the factorization's answers stay trustworthy for pivot
+// selection. Like the rest of the envelope: derived from u, not tuned.
+inline double eta_pivot_rel_floor() {
+  return 1.0 / 1048576.0;  // 2^-20
+}
+
 }  // namespace nd::analysis

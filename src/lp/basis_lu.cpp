@@ -1,0 +1,231 @@
+#include "lp/basis_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/exact/envelope.hpp"
+#include "common/check.hpp"
+
+namespace nd::lp {
+
+namespace {
+// Eta-file budget before needs_refactor() trips. Refactorizing is O(sparse
+// LU); each eta adds one scatter pass to every subsequent FTRAN/BTRAN, so the
+// budget bounds solve cost AND accumulated product-form roundoff. Plain
+// integer shape parameters, not numeric tolerances.
+constexpr int kMaxEtas = 64;
+constexpr long long kEtaNnzFactor = 8;
+}  // namespace
+
+bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis,
+                        double pivot_floor) {
+  m_ = static_cast<int>(basis.size());
+  ND_REQUIRE(a.rows() == m_, "BasisLu: basis size must match row count");
+  factorized_ = false;
+  etas_.clear();
+  eta_nnz_ = 0;
+  prow_.assign(static_cast<std::size_t>(m_), -1);
+  ipos_.assign(static_cast<std::size_t>(m_), -1);
+  udiag_.assign(static_cast<std::size_t>(m_), 0.0);
+  lcols_.assign(static_cast<std::size_t>(m_), {});
+  ucols_.assign(static_cast<std::size_t>(m_), {});
+  lu_nnz_ = 0;
+  basis_nnz_ = 0;
+
+  // Left-looking elimination with a dense scatter workspace per column.
+  std::vector<double> x(static_cast<std::size_t>(m_), 0.0);
+  std::vector<int> touched;
+  touched.reserve(static_cast<std::size_t>(m_));
+
+  for (int j = 0; j < m_; ++j) {
+    const SparseMatrix::ColView bj = a.col(basis[static_cast<std::size_t>(j)]);
+    basis_nnz_ += bj.len;
+    double colmax = 0.0;
+    for (int k = 0; k < bj.len; ++k) {
+      x[static_cast<std::size_t>(bj.idx[k])] = bj.val[k];
+      touched.push_back(bj.idx[k]);
+      colmax = std::max(colmax, std::abs(bj.val[k]));
+    }
+
+    // Apply the previous pivots in order: u_kj is the workspace value at the
+    // k-th pivot row AFTER eliminations 0..k-1, then pivot k's L column is
+    // subtracted from the still-unpivoted rows.
+    std::vector<Entry>& ucol = ucols_[static_cast<std::size_t>(j)];
+    for (int k = 0; k < j; ++k) {
+      const double ukj = x[static_cast<std::size_t>(prow_[static_cast<std::size_t>(k)])];
+      if (ukj == 0.0) continue;  // fp-exact: structural zero, nothing to eliminate
+      ucol.push_back({k, ukj});
+      for (const Entry& e : lcols_[static_cast<std::size_t>(k)]) {
+        double& xi = x[static_cast<std::size_t>(e.idx)];
+        if (xi == 0.0) touched.push_back(e.idx);  // fp-exact: fill-in bookkeeping
+        xi -= e.val * ukj;
+        colmax = std::max(colmax, std::abs(xi));
+      }
+    }
+
+    // Partial pivoting over the rows not yet claimed by a pivot.
+    int p = -1;
+    double pv = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      if (ipos_[static_cast<std::size_t>(i)] >= 0) continue;
+      const double v = std::abs(x[static_cast<std::size_t>(i)]);
+      if (v > pv) {
+        pv = v;
+        p = i;
+      }
+    }
+    // Acceptance floor for the partial pivot: the caller's pivot decision
+    // threshold (the engines' ratio tests never create an exchange whose
+    // pivot is at or below it, so a smaller factorization pivot means the
+    // basis is singular at the engine's working resolution) composed with
+    // the unit-term envelope margin for the column's scale. Refusing
+    // declares the basis numerically singular; the engine's reject/reprice
+    // and cold-solve fallbacks own recovery.
+    const double margin = std::max(analysis::presolve_margin(1, colmax), pivot_floor);
+    if (p < 0 || pv <= margin) {
+      for (const int i : touched) x[static_cast<std::size_t>(i)] = 0.0;
+      return false;  // numerically singular basis
+    }
+    prow_[static_cast<std::size_t>(j)] = p;
+    ipos_[static_cast<std::size_t>(p)] = j;
+    const double piv = x[static_cast<std::size_t>(p)];
+    udiag_[static_cast<std::size_t>(j)] = piv;
+
+    std::vector<Entry>& lcol = lcols_[static_cast<std::size_t>(j)];
+    for (int i = 0; i < m_; ++i) {
+      if (ipos_[static_cast<std::size_t>(i)] >= 0) continue;
+      const double v = x[static_cast<std::size_t>(i)];
+      if (v == 0.0) continue;  // fp-exact: structural zero stays out of L
+      lcol.push_back({i, v / piv});
+    }
+    lu_nnz_ += static_cast<long long>(lcol.size() + ucol.size()) + 1;
+
+    for (const int i : touched) x[static_cast<std::size_t>(i)] = 0.0;
+    touched.clear();
+  }
+
+  last_fill_ = std::max<long long>(0, lu_nnz_ - basis_nnz_);
+  stats_.fill += last_fill_;
+  ++stats_.factorizations;
+  factorized_ = true;
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  ND_REQUIRE(factorized_, "BasisLu::ftran before factorize");
+  ND_REQUIRE(static_cast<int>(x.size()) == m_, "BasisLu::ftran size");
+  ++stats_.ftrans;
+  // Forward: L y = b in pivot order, y living at the pivot rows.
+  for (int k = 0; k < m_; ++k) {
+    const double yk = x[static_cast<std::size_t>(prow_[static_cast<std::size_t>(k)])];
+    if (yk == 0.0) continue;  // fp-exact: zero rhs component propagates nothing
+    for (const Entry& e : lcols_[static_cast<std::size_t>(k)]) {
+      x[static_cast<std::size_t>(e.idx)] -= e.val * yk;
+    }
+  }
+  // Gather into pivot order, then backward: U z = y, column-oriented.
+  std::vector<double> z(static_cast<std::size_t>(m_));
+  for (int k = 0; k < m_; ++k) {
+    z[static_cast<std::size_t>(k)] = x[static_cast<std::size_t>(prow_[static_cast<std::size_t>(k)])];
+  }
+  for (int j = m_ - 1; j >= 0; --j) {
+    const double zj = z[static_cast<std::size_t>(j)] / udiag_[static_cast<std::size_t>(j)];
+    z[static_cast<std::size_t>(j)] = zj;
+    if (zj == 0.0) continue;  // fp-exact: zero coefficient scatters nothing
+    for (const Entry& e : ucols_[static_cast<std::size_t>(j)]) {
+      z[static_cast<std::size_t>(e.idx)] -= e.val * zj;
+    }
+  }
+  x = std::move(z);
+  // Product-form etas in creation order: x ← E⁻¹ x with
+  // E⁻¹ = I − (w − e_r) e_rᵀ / w_r.
+  for (const Eta& eta : etas_) {
+    const double t = x[static_cast<std::size_t>(eta.r)] / eta.pivot;
+    x[static_cast<std::size_t>(eta.r)] = t;
+    if (t == 0.0) continue;  // fp-exact: zero coefficient scatters nothing
+    for (const Entry& e : eta.col) {
+      x[static_cast<std::size_t>(e.idx)] -= e.val * t;
+    }
+  }
+}
+
+void BasisLu::btran(std::vector<double>& x) const {
+  ND_REQUIRE(factorized_, "BasisLu::btran before factorize");
+  ND_REQUIRE(static_cast<int>(x.size()) == m_, "BasisLu::btran size");
+  ++stats_.btrans;
+  // Etas in REVERSE creation order first: x ← E⁻ᵀ x with
+  // E⁻ᵀ c: c_r ← (c_r − Σ_{i≠r} w_i c_i) / w_r, other components unchanged.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = x[static_cast<std::size_t>(it->r)];
+    for (const Entry& e : it->col) {
+      acc -= e.val * x[static_cast<std::size_t>(e.idx)];
+    }
+    x[static_cast<std::size_t>(it->r)] = acc / it->pivot;
+  }
+  // Uᵀ v = c ascending (row j of Uᵀ is column j of U — a gather).
+  for (int j = 0; j < m_; ++j) {
+    double acc = x[static_cast<std::size_t>(j)];
+    for (const Entry& e : ucols_[static_cast<std::size_t>(j)]) {
+      acc -= e.val * x[static_cast<std::size_t>(e.idx)];
+    }
+    x[static_cast<std::size_t>(j)] = acc / udiag_[static_cast<std::size_t>(j)];
+  }
+  // Lᵀ y = v descending, scattered back to matrix rows via the permutation.
+  std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+  for (int k = m_ - 1; k >= 0; --k) {
+    double acc = x[static_cast<std::size_t>(k)];
+    for (const Entry& e : lcols_[static_cast<std::size_t>(k)]) {
+      acc -= e.val * y[static_cast<std::size_t>(e.idx)];
+    }
+    y[static_cast<std::size_t>(prow_[static_cast<std::size_t>(k)])] = acc;
+  }
+  x = std::move(y);
+}
+
+bool BasisLu::update(const std::vector<double>& w, int r) {
+  ND_REQUIRE(factorized_, "BasisLu::update before factorize");
+  ND_REQUIRE(r >= 0 && r < m_, "BasisLu::update position out of range");
+  ND_REQUIRE(static_cast<int>(w.size()) == m_, "BasisLu::update size");
+  double wmax = 0.0;
+  for (const double v : w) wmax = std::max(wmax, std::abs(v));
+  const double pivot = w[static_cast<std::size_t>(r)];
+  // Two refusal grounds: the additive envelope (pivot indistinguishable from
+  // accumulated roundoff) and the relative floor (eta would amplify existing
+  // roundoff past the engines' pivot decision threshold — see envelope.hpp).
+  const double margin =
+      std::max(analysis::presolve_margin(static_cast<std::size_t>(m_), wmax),
+               analysis::eta_pivot_rel_floor() * wmax);
+  if (std::abs(pivot) <= margin) return false;  // unstable eta; refactorize
+
+  Eta eta;
+  eta.r = r;
+  eta.pivot = pivot;
+  for (int i = 0; i < m_; ++i) {
+    if (i == r) continue;
+    const double v = w[static_cast<std::size_t>(i)];
+    if (v == 0.0) continue;  // fp-exact: structural zero stays out of the eta
+    eta.col.push_back({i, v});
+  }
+  eta_nnz_ += static_cast<long long>(eta.col.size()) + 1;
+  etas_.push_back(std::move(eta));
+  ++stats_.updates;
+  return true;
+}
+
+bool BasisLu::needs_refactor() const {
+  if (!factorized_) return true;
+  if (static_cast<int>(etas_.size()) >= kMaxEtas) return true;
+  return eta_nnz_ > kEtaNnzFactor * (lu_nnz_ + m_);
+}
+
+long long BasisLu::bytes() const {
+  long long b = static_cast<long long>(
+      prow_.capacity() * sizeof(int) + ipos_.capacity() * sizeof(int) +
+      udiag_.capacity() * sizeof(double));
+  for (const auto& c : lcols_) b += static_cast<long long>(c.capacity() * sizeof(Entry));
+  for (const auto& c : ucols_) b += static_cast<long long>(c.capacity() * sizeof(Entry));
+  for (const Eta& e : etas_) b += static_cast<long long>(e.col.capacity() * sizeof(Entry));
+  return b;
+}
+
+}  // namespace nd::lp

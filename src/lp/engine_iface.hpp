@@ -1,0 +1,46 @@
+// Internal seam between the Simplex facade and its two engine
+// implementations. Not part of the public lp API — only simplex.cpp,
+// simplex_tableau.cpp and simplex_revised.cpp include this header.
+//
+// The interface is deliberately per-solve-grained (solve / dual_resolve /
+// set_bound / accessors): virtual dispatch happens once per node operation,
+// never per pivot, so the seam costs nothing on the hot path.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace nd::lp::detail {
+
+class EngineImpl {
+ public:
+  virtual ~EngineImpl() = default;
+
+  virtual SolveStatus solve() = 0;
+  virtual SolveStatus dual_resolve() = 0;
+  virtual void set_bound(int j, double lo, double hi) = 0;
+  virtual void set_deadline(std::chrono::steady_clock::time_point t) = 0;
+
+  [[nodiscard]] virtual double bound_lo(int j) const = 0;
+  [[nodiscard]] virtual double bound_hi(int j) const = 0;
+  [[nodiscard]] virtual double objective() const = 0;
+  [[nodiscard]] virtual std::vector<double> solution() const = 0;
+  [[nodiscard]] virtual double value(int j) const = 0;
+  [[nodiscard]] virtual double reduced_cost(int j) const = 0;
+  [[nodiscard]] virtual VarStatus var_status(int j) const = 0;
+  [[nodiscard]] virtual int iterations() const = 0;
+  [[nodiscard]] virtual const Simplex::Counters& counters() const = 0;
+  [[nodiscard]] virtual long long tableau_bytes() const = 0;
+  [[nodiscard]] virtual SolveStatus last_status() const = 0;
+  [[nodiscard]] virtual Certificate extract_certificate() const = 0;
+};
+
+std::unique_ptr<EngineImpl> make_tableau_engine(const Problem& p,
+                                                const Simplex::Options& opt);
+std::unique_ptr<EngineImpl> make_revised_engine(const Problem& p,
+                                                const Simplex::Options& opt);
+
+}  // namespace nd::lp::detail

@@ -9,6 +9,7 @@
 
 #include "analysis/exact/envelope.hpp"
 #include "common/invariants.hpp"
+#include "lp/sparse.hpp"
 
 namespace nd::lp {
 namespace {
@@ -329,16 +330,26 @@ PresolvedLp apply_reductions(const Problem& p, const ReductionLog& log) {
     return out;
   }
 
-  // Column index: which surviving rows carry each variable.
-  std::vector<std::vector<int>> rows_of(static_cast<std::size_t>(n));
+  // Column index over the surviving entries, through the engine-shared
+  // sparse type: the CSC column view hands each variable its rows AND
+  // coefficients directly, so the substitution below reads values without
+  // a per-row linear scan. `from_triplets` drops exact zeros by contract,
+  // but a merged-to-zero input coefficient still occupies its row and must
+  // be erased when its column is eliminated — those go in a side list.
+  std::vector<Triplet> surviving;
+  std::vector<std::vector<int>> zero_rows_of(static_cast<std::size_t>(n));
   for (int r = 0; r < m; ++r) {
     const WorkRow& w = st.rows[static_cast<std::size_t>(r)];
     if (w.dropped) continue;
     for (const auto& [j, a] : w.coef) {
-      (void)a;
-      rows_of[static_cast<std::size_t>(j)].push_back(r);
+      if (a == 0.0) {  // fp-exact: explicit zero entry, kept out of the matrix
+        zero_rows_of[static_cast<std::size_t>(j)].push_back(r);
+      } else {
+        surviving.push_back({r, j, a});
+      }
     }
   }
+  const SparseMatrix cols = SparseMatrix::from_triplets(m, n, surviving);
 
   // Substitute pinned columns out wherever the arithmetic is exact. The
   // decision is transactional per column: either every affected row's rhs
@@ -356,13 +367,12 @@ PresolvedLp apply_reductions(const Problem& p, const ReductionLog& log) {
     if (v == 0.0) {  // fp-exact: zero substitution never perturbs anything
       // rhs and shift unchanged.
     } else {
-      for (const int r : rows_of[ju]) {
+      const SparseMatrix::ColView cv = cols.col(j);
+      for (int k = 0; k < cv.len; ++k) {
+        const int r = cv.idx[k];
         const WorkRow& w = st.rows[static_cast<std::size_t>(r)];
-        auto it = std::find_if(w.coef.begin(), w.coef.end(),
-                               [&](const auto& e) { return e.first == j; });
-        ND_INVARIANT(it != w.coef.end(), "presolve: stale column index");
         double t = 0.0, s = 0.0;
-        if (!product_exact(it->second, v, &t) || !sum_exact(w.rhs, -t, &s)) {
+        if (!product_exact(cv.val[k], v, &t) || !sum_exact(w.rhs, -t, &s)) {
           ok = false;
           break;
         }
@@ -386,14 +396,20 @@ PresolvedLp apply_reductions(const Problem& p, const ReductionLog& log) {
     out.fixed_value[ju] = v;
     ++out.stats.cols_removed;
     for (const auto& [r, rhs] : new_rhs) st.rows[static_cast<std::size_t>(r)].rhs = rhs;
-    for (const int r : rows_of[ju]) {
+    // Erase the eliminated column's entries — the CSC rows plus any
+    // merged-to-zero entries the matrix dropped at construction.
+    auto erase_entry = [&](int r) {
       WorkRow& w = st.rows[static_cast<std::size_t>(r)];
       auto it = std::find_if(w.coef.begin(), w.coef.end(),
                              [&](const auto& e) { return e.first == j; });
+      ND_INVARIANT(it != w.coef.end(), "presolve: stale column index");
       w.coef.erase(it);
       ++w.removed_entries;
       ++out.stats.nonzeros_removed;
-    }
+    };
+    const SparseMatrix::ColView cv = cols.col(j);
+    for (int k = 0; k < cv.len; ++k) erase_entry(cv.idx[k]);
+    for (const int r : zero_rows_of[ju]) erase_entry(r);
   }
   out.obj_shift = shift;
 

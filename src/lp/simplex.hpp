@@ -1,16 +1,27 @@
-// Bounded-variable simplex engine on a dense tableau.
+// Bounded-variable two-phase simplex with a pluggable engine.
 //
-// Design notes (see DESIGN.md §2):
+// Two engines implement the same external contract behind the `Simplex`
+// facade (selected by Options::engine, default kRevised):
+//  * kRevised (lp/simplex_revised.cpp): revised simplex over the shared
+//    sparse CSC/CSR matrix (lp/sparse.hpp) with an LU-factorized basis and
+//    product-form eta updates (lp/basis_lu.hpp), FTRAN/BTRAN solves instead
+//    of tableau maintenance, and devex pricing with the Bland anti-cycling
+//    fallback. This is the production hot path.
+//  * kTableau (lp/simplex_tableau.cpp): the original dense-tableau engine,
+//    kept as a differential-testing reference — Dantzig pricing, full B⁻¹A
+//    maintained across pivots.
+//
+// Shared design (see DESIGN.md §2 and docs/solver.md):
 //  * Internal form: every user row becomes an equality `aᵀx + s = rhs` with a
 //    slack s bounded by the row sense (LE: [0, +inf), GE: (-inf, 0],
 //    EQ: [0, 0]); one artificial column per row provides the phase-1 basis.
-//  * The full tableau B⁻¹A is maintained across pivots, so a branch-and-bound
-//    driver can keep ONE engine alive for the whole tree: branching only
-//    changes variable bounds, which keeps the basis dual-feasible, and
-//    `dual_resolve()` repairs primal feasibility in a handful of pivots.
-//  * Dantzig pricing with a Bland fallback after a run of degenerate steps;
-//    periodic residual checks trigger a from-scratch refactorization when
-//    numerical drift exceeds tolerance.
+//  * A branch-and-bound driver keeps ONE engine alive for the whole tree:
+//    branching only changes variable bounds, which keeps the basis
+//    dual-feasible, and `dual_resolve()` repairs primal feasibility in a
+//    handful of pivots (warm bases map onto the factorization in the revised
+//    engine; the tableau engine re-reads its maintained inverse).
+//  * Periodic residual checks trigger a refactorization when numerical drift
+//    exceeds tolerance.
 //
 // This is a from-scratch replacement for the commercial MILP/LP stack the
 // paper uses (Gurobi); no solver library exists in this environment.
@@ -18,6 +29,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/invariants.hpp"
@@ -37,7 +50,31 @@ const char* to_string(SolveStatus s);
 /// Variable position relative to the basis.
 enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
 
+/// Which simplex implementation backs the facade.
+enum class EngineKind : std::uint8_t {
+  kTableau,  ///< dense tableau (differential-testing reference)
+  kRevised,  ///< sparse revised simplex with LU basis (default)
+};
+
+const char* to_string(EngineKind k);
+/// Parse "tableau" / "revised" (CLI flag values); false on anything else.
+bool engine_kind_from_string(const std::string& s, EngineKind* out);
+
+/// Primal pricing rule of the revised engine (the tableau engine is always
+/// Dantzig). Devex needs fewer pivots on cold solves; Dantzig reproduces the
+/// reference engine's pivot selection, so both engines land on the SAME
+/// optimal vertex of a degenerate face — which is what branch-and-bound
+/// branches on, making the trees comparable across engines.
+enum class Pricing : std::uint8_t {
+  kDevex,    ///< largest d² / reference weight (default)
+  kDantzig,  ///< largest |d|, first index on ties (reference-engine parity)
+};
+
 struct Certificate;  // lp/certificate.hpp
+
+namespace detail {
+class EngineImpl;  // lp/engine_iface.hpp
+}  // namespace detail
 
 class Simplex {
  public:
@@ -56,12 +93,19 @@ class Simplex {
     /// itself ignores this flag — branch-and-bound presolves once at the
     /// root (milp::MipOptions::presolve), not per node.
     bool presolve = true;
+    /// Which implementation to construct (see EngineKind).
+    EngineKind engine = EngineKind::kRevised;
+    /// Primal pricing rule (revised engine only; the tableau ignores it).
+    Pricing pricing = Pricing::kDevex;
   };
 
-  void set_deadline(std::chrono::steady_clock::time_point t) { opt_.deadline = t; }
+  void set_deadline(std::chrono::steady_clock::time_point t);
 
   explicit Simplex(const Problem& p);
   Simplex(const Problem& p, Options opt);
+  Simplex(Simplex&&) noexcept;
+  Simplex& operator=(Simplex&&) noexcept;
+  ~Simplex();
 
   /// Solve from scratch (phase 1 + phase 2).
   SolveStatus solve();
@@ -75,8 +119,8 @@ class Simplex {
   /// set_bound calls).
   void set_bound(int j, double lo, double hi);
 
-  [[nodiscard]] double bound_lo(int j) const { return lo_[static_cast<std::size_t>(j)]; }
-  [[nodiscard]] double bound_hi(int j) const { return hi_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double bound_lo(int j) const;
+  [[nodiscard]] double bound_hi(int j) const;
 
   /// Objective value of the last optimal solve.
   [[nodiscard]] double objective() const;
@@ -85,13 +129,13 @@ class Simplex {
   [[nodiscard]] std::vector<double> solution() const;
 
   /// Value of a single structural variable.
-  [[nodiscard]] double value(int j) const { return xval_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double value(int j) const;
 
   /// Reduced cost of a structural variable (valid after an optimal solve).
-  [[nodiscard]] double reduced_cost(int j) const { return d_[static_cast<std::size_t>(j)]; }
-  [[nodiscard]] VarStatus var_status(int j) const { return stat_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double reduced_cost(int j) const;
+  [[nodiscard]] VarStatus var_status(int j) const;
 
-  [[nodiscard]] int iterations() const { return total_iters_; }
+  [[nodiscard]] int iterations() const;
 
   /// Cumulative work tallies since construction. Maintained unconditionally —
   /// they are plain integer increments on paths that already touch the same
@@ -102,24 +146,31 @@ class Simplex {
     long long dual_resolves = 0;     ///< warm dual_resolve() entries
     long long pivots = 0;            ///< basis-changing pivots
     long long bound_flips = 0;       ///< nonbasic bound-to-bound moves
-    long long bland_activations = 0; ///< Dantzig → Bland pricing switches
-    long long refactorizations = 0;  ///< rebuild_tableau() runs
+    long long bland_activations = 0; ///< devex/Dantzig → Bland pricing switches
+    long long refactorizations = 0;  ///< basis refactorizations (both engines)
     long long phase1_iters = 0;      ///< iterations inside phase-1 loops
     long long phase2_iters = 0;      ///< iterations inside phase-2 loops
+    // Revised-engine factorization work (zero under the tableau engine).
+    long long ftrans = 0;            ///< FTRAN solves (B x = b)
+    long long btrans = 0;            ///< BTRAN solves (Bᵀ y = c)
+    long long eta_updates = 0;       ///< product-form basis updates absorbed
+    long long refactor_fill = 0;     ///< cumulative LU fill-in (nnz(L+U)−nnz(B))
   };
-  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const Counters& counters() const;
 
-  /// Dense-tableau footprint in bytes — the engine's dominant allocation
-  /// (m x nt doubles). Feeds the mem.lp.tableau_bytes telemetry counter.
-  [[nodiscard]] long long tableau_bytes() const {
-    return static_cast<long long>(tab_.capacity() * sizeof(double));
-  }
+  /// Dominant heap footprint of the engine in bytes: the dense tableau
+  /// (m x nt doubles) or the sparse matrix + LU factors + eta file. Feeds
+  /// the mem.lp.tableau_bytes telemetry counter.
+  [[nodiscard]] long long tableau_bytes() const;
 
   /// Status of the most recent solve()/dual_resolve() call.
-  [[nodiscard]] SolveStatus last_status() const { return last_status_; }
+  [[nodiscard]] SolveStatus last_status() const;
 
-  /// Build a certificate for the most recent solve: row duals recomputed
-  /// from the tableau (y = c_BᵀB⁻¹) and reduced costs recomputed from the
+  /// Which engine this instance runs.
+  [[nodiscard]] EngineKind engine_kind() const { return opt_.engine; }
+
+  /// Build a certificate for the most recent solve: row duals y = c_BᵀB⁻¹
+  /// (tableau read-off or BTRAN) and reduced costs recomputed from the
   /// ORIGINAL data (d = c − Aᵀy) on kOptimal; a Farkas ray on kInfeasible
   /// (phase-1 duals, or ±row of B⁻¹ at a dual-simplex breakdown row). The
   /// certificate is relative to the engine's CURRENT variable bounds —
@@ -127,71 +178,12 @@ class Simplex {
   [[nodiscard]] Certificate extract_certificate() const;
 
  private:
-  // Column layout: [0, n) structural, [n, n+m) slack, [n+m, n+2m) artificial.
-  [[nodiscard]] int slack_col(int r) const { return n_ + r; }
-  [[nodiscard]] int art_col(int r) const { return n_ + m_ + r; }
-  [[nodiscard]] double* trow(int r) { return tab_.data() + static_cast<std::size_t>(r) * nt_; }
-  [[nodiscard]] const double* trow(int r) const {
-    return tab_.data() + static_cast<std::size_t>(r) * nt_;
-  }
-
-  void build_initial_basis();
-  void compute_reduced_costs();
-  /// Refactor B⁻¹A from the original data; false if the basis has gone
-  /// numerically singular (caller should fall back to a cold solve).
-  [[nodiscard]] bool rebuild_tableau();
-
-  /// One primal simplex run with the current costs; returns status.
-  SolveStatus primal_loop();
-  /// One dual simplex run; returns kOptimal (primal feasible) or kInfeasible.
-  SolveStatus dual_loop();
-
-  /// Perform the pivot: entering column q replaces the basic variable of
-  /// row r, which leaves at `leave_target` (one of its bounds).
-  void pivot(int r, int q, double leave_target);
-
-  /// Max |row residual| of the current basic solution against original data.
-  [[nodiscard]] double residual() const;
-
-  [[nodiscard]] bool is_nonbasic_eligible_primal(int j, double* dir) const;
-
-#if ND_INVARIANTS_ENABLED
-  /// Objective of the current phase (cost_ · xval_ over every column).
-  [[nodiscard]] double phase_objective() const;
-  /// Basis/status cross-consistency: every basis_[r] is a distinct in-range
-  /// column marked kBasic, and no other column is marked kBasic.
-  void check_basis_consistency() const;
-#endif
-
-  const Problem* prob_;
   Options opt_;
-  int n_ = 0;   // structural vars
-  int m_ = 0;   // rows
-  int nt_ = 0;  // total columns = n + 2m
-  int nw_ = 0;  // working columns = n + m (artificial tail updated lazily)
-
-  std::vector<double> orig_;  // original equality matrix, m x nt (dense)
-  std::vector<double> rhs_;   // original rhs per row
-  std::vector<double> tab_;   // current tableau B⁻¹A, m x nt
-  std::vector<double> lo_, hi_;
-  std::vector<double> cost_;       // current phase costs
-  std::vector<double> real_cost_;  // phase-2 costs
-  std::vector<double> d_;          // reduced costs
-  std::vector<double> xval_;       // values of ALL columns
-  std::vector<int> basis_;         // basic column of each row
-  std::vector<VarStatus> stat_;
-  bool phase1_ = true;
-  bool basis_valid_ = false;
-  int degen_run_ = 0;
-  int total_iters_ = 0;
-  Counters counters_;
-  SolveStatus last_status_ = SolveStatus::kIterLimit;
-  int infeas_row_ = -1;  ///< dual-simplex breakdown row (-1: phase-1 proof)
-  bool infeas_need_increase_ = false;
-#if ND_INVARIANTS_ENABLED
-  int bland_run_ = 0;  ///< consecutive degenerate pivots under Bland pricing
-#endif
+  std::unique_ptr<detail::EngineImpl> impl_;
 };
+
+/// ISSUE-10 spelling: the engine-selection seam lives on the LP options.
+using LpOptions = Simplex::Options;
 
 /// One-shot convenience: build an engine, solve, return (status, obj, x).
 struct LpResult {

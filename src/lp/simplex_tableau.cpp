@@ -1,0 +1,814 @@
+// The original dense-tableau simplex engine, retained behind the engine seam
+// (Options::engine = EngineKind::kTableau) as the differential-testing
+// reference for the revised engine. The full tableau B⁻¹A is maintained
+// across pivots; Dantzig pricing with the Bland anti-cycling fallback.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "lp/certificate.hpp"
+#include "lp/engine_iface.hpp"
+
+namespace nd::lp::detail {
+
+namespace {
+constexpr double kPivotTol = 1e-9;
+constexpr double kDegenStep = 1e-12;
+
+bool past_deadline(const std::chrono::steady_clock::time_point& deadline, int iters) {
+  if (deadline.time_since_epoch().count() == 0) return false;
+  if (iters % 128 != 1) return false;  // checks on iteration 1, 129, 257, ...
+  return std::chrono::steady_clock::now() > deadline;
+}
+
+class TableauEngine final : public EngineImpl {
+ public:
+  TableauEngine(const Problem& p, Simplex::Options opt);
+
+  SolveStatus solve() override;
+  SolveStatus dual_resolve() override;
+  void set_bound(int j, double lo, double hi) override;
+  void set_deadline(std::chrono::steady_clock::time_point t) override { opt_.deadline = t; }
+
+  [[nodiscard]] double bound_lo(int j) const override { return lo_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double bound_hi(int j) const override { return hi_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double objective() const override;
+  [[nodiscard]] std::vector<double> solution() const override;
+  [[nodiscard]] double value(int j) const override { return xval_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double reduced_cost(int j) const override { return d_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] VarStatus var_status(int j) const override { return stat_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] int iterations() const override { return total_iters_; }
+  [[nodiscard]] const Simplex::Counters& counters() const override { return counters_; }
+  [[nodiscard]] long long tableau_bytes() const override {
+    return static_cast<long long>(tab_.capacity() * sizeof(double));
+  }
+  [[nodiscard]] SolveStatus last_status() const override { return last_status_; }
+  [[nodiscard]] Certificate extract_certificate() const override;
+
+ private:
+  // Column layout: [0, n) structural, [n, n+m) slack, [n+m, n+2m) artificial.
+  [[nodiscard]] int slack_col(int r) const { return n_ + r; }
+  [[nodiscard]] int art_col(int r) const { return n_ + m_ + r; }
+  [[nodiscard]] double* trow(int r) { return tab_.data() + static_cast<std::size_t>(r) * nt_; }
+  [[nodiscard]] const double* trow(int r) const {
+    return tab_.data() + static_cast<std::size_t>(r) * nt_;
+  }
+
+  void build_initial_basis();
+  void compute_reduced_costs();
+  /// Refactor B⁻¹A from the original data; false if the basis has gone
+  /// numerically singular (caller should fall back to a cold solve).
+  [[nodiscard]] bool rebuild_tableau();
+
+  /// One primal simplex run with the current costs; returns status.
+  SolveStatus primal_loop();
+  /// One dual simplex run; returns kOptimal (primal feasible) or kInfeasible.
+  SolveStatus dual_loop();
+
+  /// Perform the pivot: entering column q replaces the basic variable of
+  /// row r, which leaves at `leave_target` (one of its bounds).
+  void pivot(int r, int q, double leave_target);
+
+  /// Max |row residual| of the current basic solution against original data.
+  [[nodiscard]] double residual() const;
+
+  [[nodiscard]] bool is_nonbasic_eligible_primal(int j, double* dir) const;
+
+#if ND_INVARIANTS_ENABLED
+  /// Objective of the current phase (cost_ · xval_ over every column).
+  [[nodiscard]] double phase_objective() const;
+  /// Basis/status cross-consistency: every basis_[r] is a distinct in-range
+  /// column marked kBasic, and no other column is marked kBasic.
+  void check_basis_consistency() const;
+#endif
+
+  const Problem* prob_;
+  Simplex::Options opt_;
+  int n_ = 0;   // structural vars
+  int m_ = 0;   // rows
+  int nt_ = 0;  // total columns = n + 2m
+  int nw_ = 0;  // working columns = n + m (artificial tail updated lazily)
+
+  std::vector<double> orig_;  // original equality matrix, m x nt (dense)
+  std::vector<double> rhs_;   // original rhs per row
+  std::vector<double> tab_;   // current tableau B⁻¹A, m x nt
+  std::vector<double> lo_, hi_;
+  std::vector<double> cost_;       // current phase costs
+  std::vector<double> real_cost_;  // phase-2 costs
+  std::vector<double> d_;          // reduced costs
+  std::vector<double> xval_;       // values of ALL columns
+  std::vector<int> basis_;         // basic column of each row
+  std::vector<VarStatus> stat_;
+  bool phase1_ = true;
+  bool basis_valid_ = false;
+  int degen_run_ = 0;
+  int total_iters_ = 0;
+  Simplex::Counters counters_;
+  SolveStatus last_status_ = SolveStatus::kIterLimit;
+  int infeas_row_ = -1;  ///< dual-simplex breakdown row (-1: phase-1 proof)
+  bool infeas_need_increase_ = false;
+#if ND_INVARIANTS_ENABLED
+  int bland_run_ = 0;  ///< consecutive degenerate pivots under Bland pricing
+#endif
+};
+
+#if ND_INVARIANTS_ENABLED
+double TableauEngine::phase_objective() const {
+  double v = 0.0;
+  for (int c = 0; c < nt_; ++c) {
+    v += cost_[static_cast<std::size_t>(c)] * xval_[static_cast<std::size_t>(c)];
+  }
+  return v;
+}
+
+void TableauEngine::check_basis_consistency() const {
+  std::vector<char> in_basis(static_cast<std::size_t>(nt_), 0);
+  for (int r = 0; r < m_; ++r) {
+    const int b = basis_[static_cast<std::size_t>(r)];
+    ND_INVARIANT(b >= 0 && b < nt_, "basis column out of range");
+    ND_INVARIANT(in_basis[static_cast<std::size_t>(b)] == 0,
+                 "column appears in the basis twice");
+    in_basis[static_cast<std::size_t>(b)] = 1;
+    ND_INVARIANT(stat_[static_cast<std::size_t>(b)] == VarStatus::kBasic,
+                 "basic column not marked kBasic");
+  }
+  for (int c = 0; c < nt_; ++c) {
+    if (stat_[static_cast<std::size_t>(c)] == VarStatus::kBasic) {
+      ND_INVARIANT(in_basis[static_cast<std::size_t>(c)] == 1,
+                   "kBasic column missing from the basis");
+    }
+  }
+}
+#endif
+
+TableauEngine::TableauEngine(const Problem& p, Simplex::Options opt)
+    : prob_(&p), opt_(opt) {
+  n_ = p.num_vars();
+  m_ = p.num_rows();
+  nt_ = n_ + 2 * m_;
+  nw_ = n_ + m_;
+  ND_REQUIRE(n_ > 0, "LP needs at least one variable");
+
+  orig_.assign(static_cast<std::size_t>(m_) * nt_, 0.0);
+  rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+  lo_.assign(static_cast<std::size_t>(nt_), 0.0);
+  hi_.assign(static_cast<std::size_t>(nt_), 0.0);
+  real_cost_.assign(static_cast<std::size_t>(nt_), 0.0);
+
+  for (int j = 0; j < n_; ++j) {
+    lo_[static_cast<std::size_t>(j)] = p.lo(j);
+    hi_[static_cast<std::size_t>(j)] = p.hi(j);
+    real_cost_[static_cast<std::size_t>(j)] = p.obj(j);
+  }
+  for (int r = 0; r < m_; ++r) {
+    const Row& row = p.row(r);
+    double* o = orig_.data() + static_cast<std::size_t>(r) * nt_;
+    for (const auto& [j, v] : row.coef) o[j] += v;
+    o[slack_col(r)] = 1.0;
+    rhs_[static_cast<std::size_t>(r)] = row.rhs;
+    const auto sc = static_cast<std::size_t>(slack_col(r));
+    switch (row.sense) {
+      case Sense::LE: lo_[sc] = 0.0; hi_[sc] = kInf; break;
+      case Sense::GE: lo_[sc] = -kInf; hi_[sc] = 0.0; break;
+      case Sense::EQ: lo_[sc] = 0.0; hi_[sc] = 0.0; break;
+    }
+    // Artificial column sign is decided in build_initial_basis().
+    const auto ac = static_cast<std::size_t>(art_col(r));
+    lo_[ac] = 0.0;
+    hi_[ac] = 0.0;  // opened to [0,inf) only when the row needs phase 1
+  }
+}
+
+void TableauEngine::build_initial_basis() {
+  tab_ = orig_;
+  xval_.assign(static_cast<std::size_t>(nt_), 0.0);
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  stat_.assign(static_cast<std::size_t>(nt_), VarStatus::kAtLower);
+  cost_.assign(static_cast<std::size_t>(nt_), 0.0);
+
+  // Nonbasic structural variables sit at a finite bound (lower preferred).
+  for (int j = 0; j < n_; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    if (std::isfinite(lo_[ju])) {
+      stat_[ju] = VarStatus::kAtLower;
+      xval_[ju] = lo_[ju];
+    } else {
+      stat_[ju] = VarStatus::kAtUpper;
+      xval_[ju] = hi_[ju];
+    }
+  }
+
+  bool need_phase1 = false;
+  for (int r = 0; r < m_; ++r) {
+    const double* o = trow(r);  // tab_ == orig_ at this point
+    double resid = rhs_[static_cast<std::size_t>(r)];
+    for (int j = 0; j < n_; ++j) resid -= o[j] * xval_[static_cast<std::size_t>(j)];
+
+    const int sc = slack_col(r);
+    const int ac = art_col(r);
+    const auto scu = static_cast<std::size_t>(sc);
+    const auto acu = static_cast<std::size_t>(ac);
+    if (resid >= lo_[scu] - opt_.tol && resid <= hi_[scu] + opt_.tol) {
+      // Slack absorbs the residual: row starts feasible.
+      basis_[static_cast<std::size_t>(r)] = sc;
+      stat_[scu] = VarStatus::kBasic;
+      xval_[scu] = resid;
+      stat_[acu] = VarStatus::kAtLower;
+      hi_[acu] = 0.0;  // re-close: a previous (aborted) solve may have opened it
+      orig_[static_cast<std::size_t>(r) * nt_ + acu] = 1.0;
+      trow(r)[ac] = 1.0;
+    } else {
+      // Park the slack at its nearest finite bound; an artificial carries
+      // the remaining (positive) residual and joins the phase-1 objective.
+      double sb;
+      if (!std::isfinite(lo_[scu])) {
+        sb = hi_[scu];
+      } else if (!std::isfinite(hi_[scu])) {
+        sb = lo_[scu];
+      } else {
+        sb = (std::abs(resid - lo_[scu]) <= std::abs(resid - hi_[scu])) ? lo_[scu] : hi_[scu];
+      }
+      stat_[scu] = (sb == lo_[scu]) ? VarStatus::kAtLower : VarStatus::kAtUpper;
+      xval_[scu] = sb;
+      const double q = resid - sb;
+      const double coef = (q >= 0.0) ? 1.0 : -1.0;
+      orig_[static_cast<std::size_t>(r) * nt_ + acu] = coef;
+      hi_[acu] = kInf;
+      basis_[static_cast<std::size_t>(r)] = ac;
+      stat_[acu] = VarStatus::kBasic;
+      xval_[acu] = std::abs(q);
+      cost_[acu] = 1.0;
+      need_phase1 = true;
+      if (coef < 0.0) {
+        // Tableau row must have +1 in the basic (artificial) column.
+        double* t = trow(r);
+        for (int c = 0; c < nt_; ++c) t[c] = -orig_[static_cast<std::size_t>(r) * nt_ + c];
+        t[ac] = 1.0;
+      } else {
+        trow(r)[ac] = 1.0;
+      }
+    }
+  }
+  phase1_ = need_phase1;
+  basis_valid_ = true;
+  degen_run_ = 0;
+}
+
+void TableauEngine::compute_reduced_costs() {
+  // Artificial columns (the tail past nw_) are never priced once nonbasic —
+  // they are fixed at [0,0] — so reduced costs are only maintained for the
+  // working columns. This also lets pivot() skip the artificial tail.
+  d_ = cost_;
+  for (int r = 0; r < m_; ++r) {
+    const double cb = cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+    if (cb == 0.0) continue;  // fp-exact: zero-cost skip, not a tolerance test
+    const double* t = trow(r);
+    for (int c = 0; c < nw_; ++c) d_[static_cast<std::size_t>(c)] -= cb * t[c];
+  }
+  for (int r = 0; r < m_; ++r) d_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = 0.0;
+}
+
+double TableauEngine::residual() const {
+  double worst = 0.0;
+  for (int r = 0; r < m_; ++r) {
+    const double* o = orig_.data() + static_cast<std::size_t>(r) * nt_;
+    double acc = -rhs_[static_cast<std::size_t>(r)];
+    double scale = std::abs(rhs_[static_cast<std::size_t>(r)]);
+    for (int c = 0; c < nt_; ++c) {
+      acc += o[c] * xval_[static_cast<std::size_t>(c)];
+      scale = std::max(scale, std::abs(o[c] * xval_[static_cast<std::size_t>(c)]));
+    }
+    worst = std::max(worst, std::abs(acc) / std::max(1.0, scale));
+  }
+  return worst;
+}
+
+bool TableauEngine::rebuild_tableau() {
+  ++counters_.refactorizations;
+  // Gauss-Jordan: reduce the basis columns of [orig_ | rhs] to identity.
+  // Only working columns are refreshed, plus any artificial column that is
+  // still basic (it participates as a pivot column); the remaining artificial
+  // tail is write-only garbage that nothing reads.
+  tab_ = orig_;
+  std::vector<double> b = rhs_;
+  std::vector<char> row_used(static_cast<std::size_t>(m_), 0);
+  std::vector<int> pivot_row_of(static_cast<std::size_t>(m_), -1);
+  std::vector<int> live_art;
+  for (int r = 0; r < m_; ++r) {
+    if (basis_[static_cast<std::size_t>(r)] >= nw_) live_art.push_back(basis_[static_cast<std::size_t>(r)]);
+  }
+
+  for (int k = 0; k < m_; ++k) {
+    const int col = basis_[static_cast<std::size_t>(k)];
+    // Find the best unused pivot row for this basis column.
+    int best = -1;
+    double bestv = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      if (row_used[static_cast<std::size_t>(r)]) continue;
+      const double v = std::abs(trow(r)[col]);
+      if (v > bestv) {
+        bestv = v;
+        best = r;
+      }
+    }
+    if (best < 0 || bestv <= kPivotTol) return false;  // numerically singular basis
+    row_used[static_cast<std::size_t>(best)] = 1;
+    pivot_row_of[static_cast<std::size_t>(k)] = best;
+    double* pr = trow(best);
+    const double piv = pr[col];
+    for (int c = 0; c < nw_; ++c) pr[c] /= piv;
+    for (const int c : live_art) pr[c] /= piv;
+    b[static_cast<std::size_t>(best)] /= piv;
+    for (int r = 0; r < m_; ++r) {
+      if (r == best) continue;
+      double* rr = trow(r);
+      const double f = rr[col];
+      if (f == 0.0) continue;  // fp-exact: zero multiplier eliminates nothing
+      for (int c = 0; c < nw_; ++c) rr[c] -= f * pr[c];
+      for (const int c : live_art) rr[c] -= f * pr[c];
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(best)];
+    }
+  }
+  // Permute rows so that row k hosts basis_[k].
+  std::vector<double> newtab(tab_.size());
+  std::vector<double> newb(static_cast<std::size_t>(m_));
+  for (int k = 0; k < m_; ++k) {
+    const int src = pivot_row_of[static_cast<std::size_t>(k)];
+    std::memcpy(newtab.data() + static_cast<std::size_t>(k) * nt_,
+                tab_.data() + static_cast<std::size_t>(src) * nt_,
+                sizeof(double) * static_cast<std::size_t>(nt_));
+    newb[static_cast<std::size_t>(k)] = b[static_cast<std::size_t>(src)];
+  }
+  tab_ = std::move(newtab);
+
+  // Recompute basic values: xB_r = (B⁻¹b)_r − Σ_{nonbasic j} T[r][j] x_j.
+  for (int r = 0; r < m_; ++r) {
+    const double* t = trow(r);
+    double v = newb[static_cast<std::size_t>(r)];
+    for (int c = 0; c < nt_; ++c) {
+      if (stat_[static_cast<std::size_t>(c)] == VarStatus::kBasic) continue;
+      v -= t[c] * xval_[static_cast<std::size_t>(c)];
+    }
+    xval_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = v;
+  }
+  compute_reduced_costs();
+  return true;
+}
+
+void TableauEngine::pivot(int r, int q, double leave_target) {
+  const int leave = basis_[static_cast<std::size_t>(r)];
+  // Column of q before elimination; needed for value updates.
+  std::vector<double> col(static_cast<std::size_t>(m_));
+  for (int rr = 0; rr < m_; ++rr) col[static_cast<std::size_t>(rr)] = trow(rr)[q];
+  const double aq = col[static_cast<std::size_t>(r)];
+  ND_ASSERT(std::abs(aq) > kPivotTol, "pivot element too small");
+
+  const double s = (xval_[static_cast<std::size_t>(leave)] - leave_target) / aq;
+  for (int rr = 0; rr < m_; ++rr) {
+    const int b = basis_[static_cast<std::size_t>(rr)];
+    xval_[static_cast<std::size_t>(b)] -= col[static_cast<std::size_t>(rr)] * s;
+  }
+  xval_[static_cast<std::size_t>(q)] += s;
+  xval_[static_cast<std::size_t>(leave)] = leave_target;
+
+  // Eliminate column q from all rows but r. Only the working columns
+  // [0, nw_) are maintained: artificial columns are read again solely by
+  // rebuild_tableau(), which reconstructs them from orig_.
+  double* pr = trow(r);
+  for (int c = 0; c < nw_; ++c) pr[c] /= aq;
+  pr[q] = 1.0;
+  for (int rr = 0; rr < m_; ++rr) {
+    if (rr == r) continue;
+    const double f = col[static_cast<std::size_t>(rr)];
+    if (f == 0.0) continue;  // fp-exact: zero multiplier eliminates nothing
+    double* t = trow(rr);
+    for (int c = 0; c < nw_; ++c) t[c] -= f * pr[c];
+    t[q] = 0.0;
+  }
+  const double dq = d_[static_cast<std::size_t>(q)];
+  if (dq != 0.0) {  // fp-exact: zero reduced cost needs no update
+    for (int c = 0; c < nw_; ++c) d_[static_cast<std::size_t>(c)] -= dq * pr[c];
+  }
+  d_[static_cast<std::size_t>(q)] = 0.0;
+
+  basis_[static_cast<std::size_t>(r)] = q;
+  stat_[static_cast<std::size_t>(q)] = VarStatus::kBasic;
+  stat_[static_cast<std::size_t>(leave)] =
+      (leave_target == lo_[static_cast<std::size_t>(leave)]) ? VarStatus::kAtLower
+                                                             : VarStatus::kAtUpper;
+  if (leave >= nw_) {
+    // An artificial that leaves the basis is discarded for good (standard
+    // two-phase practice); this keeps it out of pricing forever.
+    hi_[static_cast<std::size_t>(leave)] = 0.0;
+    xval_[static_cast<std::size_t>(leave)] = 0.0;
+  }
+  if (std::abs(s) <= kDegenStep) {
+    ++degen_run_;
+  } else {
+    degen_run_ = 0;
+  }
+  ++total_iters_;
+  ++counters_.pivots;
+}
+
+bool TableauEngine::is_nonbasic_eligible_primal(int j, double* dir) const {
+  const auto ju = static_cast<std::size_t>(j);
+  if (stat_[ju] == VarStatus::kBasic) return false;
+  if (hi_[ju] - lo_[ju] <= 0.0) return false;  // fixed
+  if (stat_[ju] == VarStatus::kAtLower && d_[ju] < -opt_.tol) {
+    *dir = 1.0;
+    return true;
+  }
+  if (stat_[ju] == VarStatus::kAtUpper && d_[ju] > opt_.tol) {
+    *dir = -1.0;
+    return true;
+  }
+  return false;
+}
+
+SolveStatus TableauEngine::primal_loop() {
+  int iters = 0;
+  const int bland_after_iters = std::max(500, 4 * m_);
+#if ND_INVARIANTS_ENABLED
+  // Phase objective monotonicity: in the primal simplex the current-phase
+  // objective never increases (degenerate steps leave it unchanged). Large
+  // violations indicate a pricing/ratio-test bug rather than drift.
+  double last_obj = phase_objective();
+  bland_run_ = 0;
+#endif
+  bool was_bland = false;
+  while (iters++ < opt_.max_iters) {
+    if (past_deadline(opt_.deadline, iters)) return SolveStatus::kIterLimit;
+    const bool bland = degen_run_ > opt_.bland_after || iters > bland_after_iters;
+    if (bland && !was_bland) {
+      ++counters_.bland_activations;
+      was_bland = true;
+    }
+    // Pricing.
+    int q = -1;
+    double dirq = 0.0;
+    double best = 0.0;
+    for (int j = 0; j < nw_; ++j) {
+      double dir;
+      if (!is_nonbasic_eligible_primal(j, &dir)) continue;
+      const double score = std::abs(d_[static_cast<std::size_t>(j)]);
+      if (bland) {
+        q = j;
+        dirq = dir;
+        break;
+      }
+      if (score > best) {
+        best = score;
+        q = j;
+        dirq = dir;
+      }
+    }
+    if (q < 0) return SolveStatus::kOptimal;
+
+    // Ratio test.
+    const auto qu = static_cast<std::size_t>(q);
+    double tmax = hi_[qu] - lo_[qu];  // bound-flip distance (may be inf)
+    int leave_row = -1;
+    double leave_target = 0.0;
+    double best_alpha = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      const double a = trow(r)[q] * dirq;
+      if (std::abs(a) <= kPivotTol) continue;
+      const int i = basis_[static_cast<std::size_t>(r)];
+      const auto iu = static_cast<std::size_t>(i);
+      double limit;
+      double target;
+      if (a > 0.0) {  // basic decreases
+        if (!std::isfinite(lo_[iu])) continue;
+        limit = (xval_[iu] - lo_[iu]) / a;
+        target = lo_[iu];
+      } else {  // basic increases
+        if (!std::isfinite(hi_[iu])) continue;
+        limit = (hi_[iu] - xval_[iu]) / (-a);
+        target = hi_[iu];
+      }
+      limit = std::max(limit, 0.0);
+      const bool better =
+          (leave_row < 0 && limit < tmax) ||
+          (leave_row >= 0 &&
+           (limit < tmax - 1e-12 || (limit <= tmax + 1e-12 && std::abs(a) > best_alpha)));
+      if (better) {
+        tmax = std::min(tmax, limit);
+        leave_row = r;
+        leave_target = target;
+        best_alpha = std::abs(a);
+      }
+    }
+
+    if (!std::isfinite(tmax)) return SolveStatus::kUnbounded;
+
+    if (leave_row < 0) {
+      // Bound flip: q travels to its opposite bound.
+      const double delta = dirq * tmax;
+      for (int r = 0; r < m_; ++r) {
+        const int b = basis_[static_cast<std::size_t>(r)];
+        xval_[static_cast<std::size_t>(b)] -= trow(r)[q] * delta;
+      }
+      xval_[qu] += delta;
+      stat_[qu] = (stat_[qu] == VarStatus::kAtLower) ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      if (tmax <= kDegenStep) {
+        ++degen_run_;
+      } else {
+        degen_run_ = 0;
+      }
+      ++total_iters_;
+      ++counters_.bound_flips;
+    } else {
+      pivot(leave_row, q, leave_target);
+    }
+
+#if ND_INVARIANTS_ENABLED
+    check_basis_consistency();
+    const double now_obj = phase_objective();
+    ND_INVARIANT(now_obj <= last_obj + 1e-5 * (1.0 + std::abs(last_obj)),
+                 "primal phase objective increased across a pivot");
+    last_obj = now_obj;
+    if (bland && degen_run_ > 0) {
+      ++bland_run_;
+      // Bland's rule guarantees no cycling; a degenerate run this long under
+      // Bland pricing means the anti-cycling machinery is broken.
+      ND_INVARIANT(bland_run_ <= 10 * (nt_ + m_) + 10000,
+                   "suspiciously long degenerate run under Bland pivoting");
+    } else {
+      bland_run_ = 0;
+    }
+#endif
+
+    if (opt_.recheck_every > 0 && total_iters_ % opt_.recheck_every == 0 &&
+        residual() > 1e-6) {
+      if (!rebuild_tableau()) return SolveStatus::kIterLimit;
+#if ND_INVARIANTS_ENABLED
+      last_obj = phase_objective();  // refactorization may shift values slightly
+#endif
+    }
+  }
+  return SolveStatus::kIterLimit;
+}
+
+SolveStatus TableauEngine::dual_loop() {
+  int iters = 0;
+  const int bland_after_iters = std::max(500, 4 * m_);
+  bool was_bland = false;
+  while (iters++ < opt_.max_iters) {
+    if (past_deadline(opt_.deadline, iters)) return SolveStatus::kIterLimit;
+    const bool bland = degen_run_ > opt_.bland_after || iters > bland_after_iters;
+    if (bland && !was_bland) {
+      ++counters_.bland_activations;
+      was_bland = true;
+    }
+    // Leaving row: worst primal bound violation among basics (Bland mode:
+    // first violated row, which breaks degenerate cycles).
+    int r = -1;
+    double worst = opt_.tol;
+    double target = 0.0;
+    bool need_increase = false;
+    for (int rr = 0; rr < m_; ++rr) {
+      const int i = basis_[static_cast<std::size_t>(rr)];
+      const auto iu = static_cast<std::size_t>(i);
+      const double v = xval_[iu];
+      if (v < lo_[iu] - worst) {
+        worst = lo_[iu] - v;
+        r = rr;
+        target = lo_[iu];
+        need_increase = true;
+      } else if (v > hi_[iu] + worst) {
+        worst = v - hi_[iu];
+        r = rr;
+        target = hi_[iu];
+        need_increase = false;
+      }
+      if (bland && r >= 0) break;
+    }
+    if (r < 0) return SolveStatus::kOptimal;
+
+    // Entering column via the bounded dual ratio test.
+    const double* row = trow(r);
+    int q = -1;
+    double best_ratio = 0.0;
+    double best_alpha = 0.0;
+    for (int j = 0; j < nw_; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (stat_[ju] == VarStatus::kBasic) continue;
+      if (hi_[ju] - lo_[ju] <= 0.0) continue;  // fixed
+      const double a = row[j];
+      if (std::abs(a) <= kPivotTol) continue;
+      const double dir = (stat_[ju] == VarStatus::kAtLower) ? 1.0 : -1.0;
+      // Entering movement changes xB_r by -a*dir*t; pick columns moving it
+      // toward the violated bound.
+      const bool increases = (a * dir) < 0.0;
+      if (increases != need_increase) continue;
+      const double ratio = std::abs(d_[ju] / a);
+      if (bland) {
+        // Bland: smallest-index column with (near-)minimal ratio.
+        if (q < 0 || ratio < best_ratio - 1e-9) {
+          q = j;
+          best_ratio = ratio;
+          best_alpha = std::abs(a);
+        }
+      } else if (q < 0 || ratio < best_ratio - 1e-12 ||
+                 (ratio <= best_ratio + 1e-12 && std::abs(a) > best_alpha)) {
+        q = j;
+        best_ratio = ratio;
+        best_alpha = std::abs(a);
+      }
+    }
+    if (q < 0) {
+      // No entering column can repair row r: the row itself (a row of B⁻¹
+      // applied to the original system) is a Farkas certificate; remember it
+      // for extract_certificate().
+      infeas_row_ = r;
+      infeas_need_increase_ = need_increase;
+      return SolveStatus::kInfeasible;
+    }
+    pivot(r, q, target);
+#if ND_INVARIANTS_ENABLED
+    check_basis_consistency();
+#endif
+
+    if (opt_.recheck_every > 0 && total_iters_ % opt_.recheck_every == 0 &&
+        residual() > 1e-6) {
+      if (!rebuild_tableau()) return SolveStatus::kIterLimit;
+    }
+  }
+  return SolveStatus::kIterLimit;
+}
+
+SolveStatus TableauEngine::solve() {
+  ++counters_.solves;
+  build_initial_basis();
+  infeas_row_ = -1;
+#if ND_INVARIANTS_ENABLED
+  check_basis_consistency();
+#endif
+  if (phase1_) {
+    const int phase1_start = total_iters_;
+    compute_reduced_costs();
+    const SolveStatus s1 = primal_loop();
+    counters_.phase1_iters += total_iters_ - phase1_start;
+    if (s1 == SolveStatus::kIterLimit) {
+      // Still on the phase-1 objective with artificials open: the tableau is
+      // NOT a phase-2 basis, so a warm dual_resolve() from here would pivot
+      // against the wrong cost vector and report a bogus "optimum".
+      basis_valid_ = false;
+      return last_status_ = s1;
+    }
+    ND_ASSERT(s1 != SolveStatus::kUnbounded, "phase-1 objective is bounded below by 0");
+    double art_sum = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      const int ac = art_col(r);
+      art_sum += std::abs(xval_[static_cast<std::size_t>(ac)]);
+    }
+    if (art_sum > opt_.tol * std::max(1.0, static_cast<double>(m_))) {
+      // cost_ still holds the phase-1 objective: extract_certificate() reads
+      // the phase-1 duals as the Farkas ray. As above, this state must not
+      // seed a warm resolve.
+      basis_valid_ = false;
+      return last_status_ = SolveStatus::kInfeasible;
+    }
+  }
+  // Close all artificials and switch to the real objective.
+  for (int r = 0; r < m_; ++r) {
+    const auto ac = static_cast<std::size_t>(art_col(r));
+    hi_[ac] = 0.0;
+    if (stat_[ac] != VarStatus::kBasic) xval_[ac] = 0.0;
+  }
+  cost_ = real_cost_;
+  compute_reduced_costs();
+  const int phase2_start = total_iters_;
+  const SolveStatus s2 = primal_loop();
+  counters_.phase2_iters += total_iters_ - phase2_start;
+  return last_status_ = s2;
+}
+
+SolveStatus TableauEngine::dual_resolve() {
+  if (!basis_valid_) return solve();
+  ++counters_.dual_resolves;
+  infeas_row_ = -1;
+  SolveStatus s = dual_loop();
+  if (s == SolveStatus::kIterLimit) {
+    // Numerical trouble: refactor once, then fall back to a cold solve.
+    s = rebuild_tableau() ? dual_loop() : SolveStatus::kIterLimit;
+    if (s == SolveStatus::kIterLimit) s = solve();
+  } else if (s == SolveStatus::kInfeasible) {
+    // A warm infeasibility verdict rides on the drifted tableau that produced
+    // it: with accumulated roundoff the entering-column test can fail
+    // spuriously and declare a FEASIBLE node LP infeasible (the exact audit
+    // replay caught branch-and-bound doing exactly that). Infeasibility is a
+    // pruning decision, so re-derive it from scratch before reporting it.
+    s = solve();
+  }
+  if (s == SolveStatus::kOptimal) {
+    // Bound changes leave reduced costs intact, so dual feasibility held and
+    // a primal-feasible point is optimal. Run a short primal loop anyway to
+    // clean up any tolerance-level dual violations introduced by drift.
+    s = primal_loop();
+  }
+  return last_status_ = s;
+}
+
+void TableauEngine::set_bound(int j, double lo, double hi) {
+  ND_REQUIRE(j >= 0 && j < n_, "set_bound: structural variables only");
+  ND_REQUIRE(lo <= hi, "set_bound: inverted bounds");
+  const auto ju = static_cast<std::size_t>(j);
+  lo_[ju] = lo;
+  hi_[ju] = hi;
+  if (!basis_valid_ || stat_[ju] == VarStatus::kBasic) return;
+  const double target = (stat_[ju] == VarStatus::kAtLower)
+                            ? (std::isfinite(lo) ? lo : hi)
+                            : (std::isfinite(hi) ? hi : lo);
+  // Keep the variable exactly on a (possibly moved) bound.
+  const double delta = target - xval_[ju];
+  if (delta != 0.0) {  // fp-exact: the bound genuinely moved or it did not
+    for (int r = 0; r < m_; ++r) {
+      const int b = basis_[static_cast<std::size_t>(r)];
+      xval_[static_cast<std::size_t>(b)] -= trow(r)[j] * delta;
+    }
+    xval_[ju] = target;
+  }
+  stat_[ju] = (target == lo) ? VarStatus::kAtLower : VarStatus::kAtUpper;
+}
+
+double TableauEngine::objective() const {
+  double v = 0.0;
+  for (int j = 0; j < n_; ++j) v += real_cost_[static_cast<std::size_t>(j)] * xval_[static_cast<std::size_t>(j)];
+  return v;
+}
+
+std::vector<double> TableauEngine::solution() const {
+  return {xval_.begin(), xval_.begin() + n_};
+}
+
+Certificate TableauEngine::extract_certificate() const {
+  Certificate cert;
+  cert.status = last_status_;
+  if (last_status_ == SolveStatus::kOptimal) {
+    // y = c_BᵀB⁻¹, read off the slack columns of the tableau (A_slack = I,
+    // so tableau column slack_col(k) IS column k of B⁻¹).
+    cert.y.resize(static_cast<std::size_t>(m_));
+    for (int k = 0; k < m_; ++k) {
+      NeumaierSum acc;
+      for (int r = 0; r < m_; ++r) {
+        const double cb = cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+        if (cb == 0.0) continue;  // fp-exact: zero-cost skip, not a tolerance test
+        acc.add_product(cb, trow(r)[slack_col(k)]);
+      }
+      cert.y[static_cast<std::size_t>(k)] = acc.value();
+    }
+    // Reduced costs recomputed against the ORIGINAL data, not the engine's
+    // incrementally-updated d_ — the certificate must not inherit drift.
+    cert.d.resize(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      NeumaierSum acc;
+      acc.add(real_cost_[static_cast<std::size_t>(j)]);
+      for (int r = 0; r < m_; ++r) {
+        acc.add_product(-cert.y[static_cast<std::size_t>(r)],
+                        orig_[static_cast<std::size_t>(r) * nt_ + static_cast<std::size_t>(j)]);
+      }
+      cert.d[static_cast<std::size_t>(j)] = acc.value();
+    }
+    cert.x = solution();
+    cert.obj = objective();
+    cert.vstat.assign(stat_.begin(), stat_.begin() + n_);
+    cert.basis = basis_;
+  } else if (last_status_ == SolveStatus::kInfeasible) {
+    cert.farkas.resize(static_cast<std::size_t>(m_));
+    if (infeas_row_ < 0) {
+      // Phase-1 proof: cost_ still holds the phase-1 objective, so the same
+      // y = c_BᵀB⁻¹ formula yields the Farkas ray directly.
+      for (int k = 0; k < m_; ++k) {
+        NeumaierSum acc;
+        for (int r = 0; r < m_; ++r) {
+          const double cb = cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+          if (cb == 0.0) continue;  // fp-exact: zero-cost skip, not a tolerance test
+          acc.add_product(cb, trow(r)[slack_col(k)]);
+        }
+        cert.farkas[static_cast<std::size_t>(k)] = acc.value();
+      }
+    } else {
+      // Dual-simplex breakdown at row r: that row of B⁻¹ is the ray, with
+      // the sign chosen by which bound the basic variable violated.
+      const double sign = infeas_need_increase_ ? -1.0 : 1.0;
+      for (int k = 0; k < m_; ++k) {
+        cert.farkas[static_cast<std::size_t>(k)] =
+            sign * trow(infeas_row_)[slack_col(k)];
+      }
+    }
+  }
+  return cert;
+}
+
+}  // namespace
+
+std::unique_ptr<EngineImpl> make_tableau_engine(const Problem& p,
+                                                const Simplex::Options& opt) {
+  return std::make_unique<TableauEngine>(p, opt);
+}
+
+}  // namespace nd::lp::detail

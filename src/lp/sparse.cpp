@@ -1,0 +1,156 @@
+#include "lp/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "lp/problem.hpp"
+
+namespace nd::lp {
+
+SparseMatrix SparseMatrix::from_triplets(int rows, int cols,
+                                         const std::vector<Triplet>& ts) {
+  ND_REQUIRE(rows >= 0 && cols >= 0, "SparseMatrix: negative dimension");
+  SparseMatrix a;
+  a.rows_ = rows;
+  a.cols_ = cols;
+  a.colptr_.assign(static_cast<std::size_t>(cols) + 1, 0);
+
+  std::vector<Triplet> sorted = ts;
+  for (const Triplet& t : sorted) {
+    ND_REQUIRE(t.row >= 0 && t.row < rows, "SparseMatrix: row out of range");
+    ND_REQUIRE(t.col >= 0 && t.col < cols, "SparseMatrix: col out of range");
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Triplet& x, const Triplet& y) {
+    return x.col != y.col ? x.col < y.col : x.row < y.row;
+  });
+
+  a.rowind_.reserve(sorted.size());
+  a.vals_.reserve(sorted.size());
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const int r = sorted[i].row;
+    const int c = sorted[i].col;
+    double v = 0.0;
+    while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
+      v += sorted[i].val;
+      ++i;
+    }
+    if (v == 0.0) continue;  // fp-exact: drop entries that sum to exactly zero
+    a.rowind_.push_back(r);
+    a.vals_.push_back(v);
+    ++a.colptr_[static_cast<std::size_t>(c) + 1];
+  }
+  for (int c = 0; c < cols; ++c) {
+    a.colptr_[static_cast<std::size_t>(c) + 1] += a.colptr_[static_cast<std::size_t>(c)];
+  }
+  return a;
+}
+
+SparseMatrix SparseMatrix::from_problem(const Problem& p) {
+  std::vector<Triplet> ts;
+  for (int r = 0; r < p.num_rows(); ++r) {
+    for (const auto& [j, v] : p.row(r).coef) ts.push_back({r, j, v});
+  }
+  return from_triplets(p.num_rows(), p.num_vars(), ts);
+}
+
+SparseMatrix SparseMatrix::from_problem_with_logicals(const Problem& p) {
+  const int n = p.num_vars();
+  const int m = p.num_rows();
+  std::vector<Triplet> ts;
+  for (int r = 0; r < m; ++r) {
+    for (const auto& [j, v] : p.row(r).coef) ts.push_back({r, j, v});
+    ts.push_back({r, n + r, 1.0});          // slack
+    ts.push_back({r, n + m + r, 1.0});      // artificial; sign set per solve
+  }
+  return from_triplets(m, n + 2 * m, ts);
+}
+
+int SparseMatrix::col_nnz(int j) const {
+  ND_REQUIRE(j >= 0 && j < cols_, "SparseMatrix: col out of range");
+  return colptr_[static_cast<std::size_t>(j) + 1] - colptr_[static_cast<std::size_t>(j)];
+}
+
+SparseMatrix::ColView SparseMatrix::col(int j) const {
+  ND_REQUIRE(j >= 0 && j < cols_, "SparseMatrix: col out of range");
+  const int b = colptr_[static_cast<std::size_t>(j)];
+  ColView v;
+  v.idx = rowind_.data() + b;
+  v.val = vals_.data() + b;
+  v.len = colptr_[static_cast<std::size_t>(j) + 1] - b;
+  return v;
+}
+
+void SparseMatrix::set_single_entry_col(int j, double v) {
+  ND_REQUIRE(col_nnz(j) == 1, "SparseMatrix: set_single_entry_col needs 1 entry");
+  vals_[static_cast<std::size_t>(colptr_[static_cast<std::size_t>(j)])] = v;
+}
+
+void SparseMatrix::scatter_col(int j, double mult, std::vector<double>& x) const {
+  const ColView c = col(j);
+  for (int k = 0; k < c.len; ++k) {
+    x[static_cast<std::size_t>(c.idx[k])] += mult * c.val[k];
+  }
+}
+
+double SparseMatrix::col_dot(int j, const std::vector<double>& x) const {
+  const ColView c = col(j);
+  double acc = 0.0;
+  for (int k = 0; k < c.len; ++k) {
+    acc += c.val[k] * x[static_cast<std::size_t>(c.idx[k])];
+  }
+  return acc;
+}
+
+std::vector<double> SparseMatrix::multiply(const std::vector<double>& x) const {
+  ND_REQUIRE(static_cast<int>(x.size()) == cols_, "SparseMatrix: multiply size");
+  std::vector<double> out(static_cast<std::size_t>(rows_), 0.0);
+  for (int j = 0; j < cols_; ++j) {
+    const double xj = x[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;  // fp-exact: zero coordinate contributes nothing
+    scatter_col(j, xj, out);
+  }
+  return out;
+}
+
+std::vector<double> SparseMatrix::multiply_transpose(const std::vector<double>& x) const {
+  ND_REQUIRE(static_cast<int>(x.size()) == rows_, "SparseMatrix: multiply_transpose size");
+  std::vector<double> out(static_cast<std::size_t>(cols_), 0.0);
+  for (int j = 0; j < cols_; ++j) out[static_cast<std::size_t>(j)] = col_dot(j, x);
+  return out;
+}
+
+SparseMatrix SparseMatrix::transpose() const {
+  std::vector<Triplet> ts;
+  ts.reserve(rowind_.size());
+  for (int j = 0; j < cols_; ++j) {
+    const ColView c = col(j);
+    for (int k = 0; k < c.len; ++k) ts.push_back({j, c.idx[k], c.val[k]});
+  }
+  return from_triplets(cols_, rows_, ts);
+}
+
+std::vector<Triplet> SparseMatrix::to_triplets() const {
+  std::vector<Triplet> ts;
+  ts.reserve(rowind_.size());
+  for (int j = 0; j < cols_; ++j) {
+    const ColView c = col(j);
+    for (int k = 0; k < c.len; ++k) ts.push_back({c.idx[k], j, c.val[k]});
+  }
+  return ts;
+}
+
+double SparseMatrix::max_abs() const {
+  double worst = 0.0;
+  for (const double v : vals_) worst = std::max(worst, std::abs(v));
+  return worst;
+}
+
+long long SparseMatrix::bytes() const {
+  return static_cast<long long>(colptr_.capacity() * sizeof(int) +
+                                rowind_.capacity() * sizeof(int) +
+                                vals_.capacity() * sizeof(double));
+}
+
+}  // namespace nd::lp

@@ -1,0 +1,99 @@
+// Compressed sparse constraint-matrix storage shared by the presolve passes
+// and the revised simplex engine.
+//
+// The canonical layout is CSC (compressed sparse column): the revised engine
+// is column-driven — FTRAN loads one column of A, reduced costs are
+// column dot products against the dual vector — while `transpose()` yields
+// the same matrix with rows and columns swapped, which doubles as a CSR view
+// for row-driven consumers (the pivot-row scatter in the revised engine, row
+// liveness scans in presolve).
+//
+// Entries within a column are sorted by row index and duplicate coordinates
+// are summed at construction; entries whose summed value is exactly zero are
+// dropped. No numeric tolerance is involved anywhere in this file — it is
+// pure storage (banned-pattern lint class 8 enforces that for this file and
+// basis_lu).
+#pragma once
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace nd::lp {
+
+class Problem;
+
+/// One (row, col, value) coordinate entry for matrix construction.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double val = 0.0;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Build from coordinate entries. Out-of-range coordinates are rejected
+  /// (ND_REQUIRE); duplicates are summed; exact-zero results are dropped.
+  static SparseMatrix from_triplets(int rows, int cols, const std::vector<Triplet>& ts);
+
+  /// The m x n structural constraint matrix of an LP (row senses and bounds
+  /// are not part of the matrix).
+  static SparseMatrix from_problem(const Problem& p);
+
+  /// The m x (n + 2m) simplex working matrix: structural columns, then one
+  /// +1 slack column per row, then one artificial column per row whose
+  /// value the engine rewrites per solve via set_single_entry_col().
+  static SparseMatrix from_problem_with_logicals(const Problem& p);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] long long nnz() const { return static_cast<long long>(rowind_.size()); }
+  [[nodiscard]] int col_nnz(int j) const;
+
+  /// Borrowed view of one column's entries (sorted by row index).
+  struct ColView {
+    const int* idx = nullptr;
+    const double* val = nullptr;
+    int len = 0;
+  };
+  [[nodiscard]] ColView col(int j) const;
+
+  /// Rewrite the value of a single-entry column in place (the revised
+  /// engine's artificial columns flip sign between solves). The column must
+  /// have exactly one stored entry.
+  void set_single_entry_col(int j, double v);
+
+  /// x += mult * A[:, j]  (x sized rows()).
+  void scatter_col(int j, double mult, std::vector<double>& x) const;
+
+  /// Column dot product: sum_i A[i][j] * x[i]  (x sized rows()).
+  [[nodiscard]] double col_dot(int j, const std::vector<double>& x) const;
+
+  /// Dense products, mostly for tests and checkers: A*x and A^T*x.
+  [[nodiscard]] std::vector<double> multiply(const std::vector<double>& x) const;
+  [[nodiscard]] std::vector<double> multiply_transpose(const std::vector<double>& x) const;
+
+  /// The transposed matrix — a CSR view of this one (column j of the result
+  /// is row j of this matrix).
+  [[nodiscard]] SparseMatrix transpose() const;
+
+  /// Coordinate round-trip (sorted column-major), for tests and diffing.
+  [[nodiscard]] std::vector<Triplet> to_triplets() const;
+
+  /// Largest absolute stored value (0 for an empty matrix).
+  [[nodiscard]] double max_abs() const;
+
+  /// Heap footprint of the index/value arrays, for the mem.* telemetry.
+  [[nodiscard]] long long bytes() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> colptr_;  // size cols_ + 1
+  std::vector<int> rowind_;  // size nnz, sorted within each column
+  std::vector<double> vals_;
+};
+
+}  // namespace nd::lp

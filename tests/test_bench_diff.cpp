@@ -34,8 +34,12 @@ struct DocParams {
   double node_p50 = 1000.0;      ///< time histogram percentiles (bnb.node_ns)
   double node_p99 = 5000.0;
   long long iters_count = 40;    ///< count histogram (lp.iters_per_solve)
+  double iters_p50 = 7.0;        ///< count-histogram percentile
   bool with_counters = true;
   bool with_histograms = true;
+  /// config.lp_engine; empty = omit the field (legacy document, implies
+  /// tableau for comparability purposes).
+  std::string lp_engine = "revised";
 };
 
 /// Render the document as JSON text and parse it back — the same path real
@@ -47,7 +51,10 @@ json::Value make_doc(const DocParams& d) {
   os << "{\"schema\":\"" << d.schema << "\","
      << "\"config\":{\"seeds\":" << d.seeds
      << ",\"first_seed\":1,\"threads\":2,\"time_limit_s\":30,"
-     << "\"num_tasks\":3,\"rows\":2,\"cols\":2,\"levels\":3},"
+     << "\"num_tasks\":3,\"rows\":2,\"cols\":2,\"levels\":3";
+  if (!d.lp_engine.empty()) os << ",\"lp_engine\":\"" << d.lp_engine << "\"";
+  os << "},";
+  os << ""
      << "\"serial\":{\"seconds_per_seed\":{\"mean\":" << d.serial_mean
      << ",\"stddev\":" << d.serial_std << "},\"wall_clock_s\":" << d.serial_wall
      << ",\"nodes\":200},"
@@ -79,7 +86,8 @@ json::Value make_doc(const DocParams& d) {
        << "\"bnb.node_ns\":{\"count\":200,\"mean\":2000,\"p50\":" << d.node_p50
        << ",\"p90\":4000,\"p99\":" << d.node_p99 << ",\"min\":100,\"max\":9000},"
        << "\"lp.iters_per_solve\":{\"count\":" << d.iters_count
-       << ",\"mean\":8,\"p50\":7,\"p90\":12,\"p99\":14,\"min\":1,\"max\":20}}";
+       << ",\"mean\":8,\"p50\":" << d.iters_p50
+       << ",\"p90\":12,\"p99\":14,\"min\":1,\"max\":20}}";
   }
   os << "}";
   return json::parse(os.str());
@@ -155,6 +163,68 @@ TEST(BenchDiff, DeterministicCounterDriftGates) {
   EXPECT_EQ(r.exit_code(), 1);
   EXPECT_TRUE(has_code(r, "bench-diff-counter-drift", "counters.bnb.branched"));
   EXPECT_TRUE(has_code(r, "bench-diff-counter-drift", "presolve_off_counters.bnb.branched"));
+}
+
+TEST(BenchDiff, CrossEngineCounterDriftDemotesToNote) {
+  DocParams o;
+  o.lp_engine = "tableau";
+  DocParams n;
+  n.lp_engine = "revised";
+  n.branched = 114;   // drift that would gate same-engine…
+  n.iters_count = 41; // …including count-valued histograms
+  const bench::DiffResult r = bench::diff_sweeps(make_doc(o), make_doc(n));
+  EXPECT_TRUE(r.comparable);
+  EXPECT_EQ(r.exit_code(), 0);
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_TRUE(has_code(r, "bench-diff-engine-mismatch", "config.lp_engine"));
+  // The drift is still reported, just demoted to a note.
+  EXPECT_TRUE(has_code(r, "bench-diff-counter-drift", "counters.bnb.branched"));
+}
+
+TEST(BenchDiff, CrossEngineCountHistogramShiftIsANote) {
+  DocParams o;
+  o.lp_engine = "tableau";
+  DocParams n;
+  n.lp_engine = "revised";
+  n.iters_p50 = 25.0;  // a 3.5x iteration-profile shift: engine work profile
+  const bench::DiffResult r = bench::diff_sweeps(make_doc(o), make_doc(n));
+  EXPECT_EQ(r.exit_code(), 0);
+  EXPECT_TRUE(has_code(r, "bench-diff-hist-drift", "histograms.lp.iters_per_solve.p50"));
+
+  // Same-engine, the identical shift gates: the work profile is deterministic.
+  o.lp_engine = "revised";
+  const bench::DiffResult r2 = bench::diff_sweeps(make_doc(o), make_doc(n));
+  EXPECT_EQ(r2.exit_code(), 1);
+  EXPECT_TRUE(has_code(r2, "bench-diff-hist-regression", "histograms.lp.iters_per_solve.p50"));
+}
+
+TEST(BenchDiff, AbsentEngineFieldMeansTableau) {
+  DocParams o;
+  o.lp_engine = "";  // legacy document: no config.lp_engine at all
+  DocParams n;
+  n.lp_engine = "tableau";
+  n.branched = 114;
+  const bench::DiffResult r = bench::diff_sweeps(make_doc(o), make_doc(n));
+  // absent == "tableau": same engine, so the drift still gates.
+  EXPECT_EQ(r.exit_code(), 1);
+  EXPECT_FALSE(has_code(r, "bench-diff-engine-mismatch"));
+
+  n.lp_engine = "revised";
+  const bench::DiffResult r2 = bench::diff_sweeps(make_doc(o), make_doc(n));
+  EXPECT_EQ(r2.exit_code(), 0);
+  EXPECT_TRUE(has_code(r2, "bench-diff-engine-mismatch", "config.lp_engine"));
+}
+
+TEST(BenchDiff, CrossEngineTimingStillGates) {
+  DocParams o;
+  o.lp_engine = "tableau";
+  DocParams n;
+  n.lp_engine = "revised";
+  n.serial_mean = 5.0;  // 10x slower: lenience must not blunt the time gate
+  n.serial_wall = 10.0;
+  const bench::DiffResult r = bench::diff_sweeps(make_doc(o), make_doc(n));
+  EXPECT_EQ(r.exit_code(), 1);
+  EXPECT_TRUE(has_code(r, "bench-diff-time-regression", "serial.wall_clock_s"));
 }
 
 TEST(BenchDiff, NondeterministicCountersAreExcluded) {

@@ -26,6 +26,13 @@
 #      checker agree on what "within tolerance" means. A presolve file that
 #      needs a new constant derives it (ldexp of a power of two) or extends
 #      the envelope; it never inlines `1e-6`-style magic.
+#   8. tolerance literals in the sparse/LU kernels (lp/sparse.*,
+#      lp/basis_lu.*) — same discipline as class 7: drop tolerances,
+#      pivot-admissibility floors and eta growth margins in the
+#      factorization must be envelope-derived (or exact integer/ldexp
+#      expressions), because the exact proof layer re-checks certificates
+#      produced through these kernels and both sides must agree on what
+#      counts as zero.
 #
 # Exit 0 when clean, 1 with one "file:line: message" per hit otherwise.
 # Run from anywhere: paths resolve relative to the repo root. POSIX sh only —
@@ -95,6 +102,14 @@ presolve_files="$(find src/lp -name 'presolve.*' ; find src/milp -name 'presolve
   find src/analysis/presolve -name '*.cpp' -o -name '*.hpp')"
 hits="$(printf '%s\n' "$presolve_files" | sort | xargs grep -nE '1[eE]-[0-9]' /dev/null)" || true
 report_hits "$hits" "tolerance literal in a presolve layer; derive margins from analysis/exact/envelope.hpp"
+
+# --- 8. tolerance literals in the sparse/LU factorization kernels ------------
+# The revised engine's numeric floors (drop tolerance, pivot admissibility,
+# eta growth) must be envelope-derived for the same reason as class 7: the
+# exact layer re-proves certificates that flowed through these kernels.
+lu_files="$(find src/lp -name 'sparse.*' ; find src/lp -name 'basis_lu.*')"
+hits="$(printf '%s\n' "$lu_files" | sort | xargs grep -nE '1[eE]-[0-9]' /dev/null)" || true
+report_hits "$hits" "tolerance literal in a sparse/LU kernel; derive margins from analysis/exact/envelope.hpp"
 
 if [ "$fail" -eq 0 ]; then
   echo "lint_banned_patterns: clean"

@@ -96,19 +96,33 @@ struct Args {
   [[nodiscard]] bool presolve_on() const { return get("presolve", "on") != "off"; }
 };
 
+/// `--lp-engine tableau|revised`, default revised. Returns false (after
+/// printing a usage error) on an unknown engine name.
+bool parse_lp_engine(const Args& a, lp::EngineKind* out) {
+  const std::string name = a.get("lp-engine", lp::to_string(lp::EngineKind::kRevised));
+  if (!lp::engine_kind_from_string(name, out)) {
+    std::fprintf(stderr, "error: unknown --lp-engine '%s' (expected tableau|revised)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: nocdeploy <gen|solve|validate|simulate|lint> [flags]\n"
                "  gen      --tasks N --rows R --cols C --alpha A --r-th X --lambda L\n"
                "           --seed S -o problem.json\n"
                "  solve    --problem P.json --method heuristic|annealing|optimal\n"
-               "           [--time-limit SEC] [--presolve on|off] [-o solution.json]\n"
+               "           [--time-limit SEC] [--presolve on|off]\n"
+               "           [--lp-engine tableau|revised] [-o solution.json]\n"
                "           [--gantt] [--dot FILE]\n"
                "  validate --problem P.json --solution S.json\n"
                "  simulate --problem P.json --solution S.json [--trials N]\n"
                "  lint     --problem P.json [--model] [--presolve-report] [--json]\n"
                "  certify  --problem P.json --method optimal|heuristic [--exact]\n"
                "           [--time-limit SEC] [--presolve on|off]\n"
+               "           [--lp-engine tableau|revised]\n"
                "           [--emit-certificate F] [--emit-audit F]\n"
                "           [-o solution.json] [--json]\n"
                "  certify  --problem P.json --solution S.json\n"
@@ -117,14 +131,17 @@ int usage() {
                "           [--claimed-be X] [--no-contention] [--json]\n"
                "  crosscheck [--seeds N] [--first-seed S] [--tasks N] [--rows R]\n"
                "           [--cols C] [--time-limit SEC] [--threads T]\n"
-               "           [--presolve on|off] [--mesh-variation V] [--no-sim] [--json]\n"
+               "           [--presolve on|off] [--mesh-variation V] [--no-sim]\n"
+               "           [--preset stress] [--lp-engine tableau|revised] [--json]\n"
                "  sweep    [--seeds N] [--first-seed S] [--threads T] [--tasks N]\n"
                "           [--rows R] [--cols C] [--time-limit SEC]\n"
+               "           [--preset stress] [--lp-engine tableau|revised]\n"
                "           [-o BENCH_sweep.json] [--json] [--append-history FILE]\n"
                "  bench diff OLD.json NEW.json [--sigma X] [--rel-floor X]\n"
                "           [--abs-floor SEC] [--hist-rel X] [--json]\n"
                "  profile  [--problem P.json] [--tasks N] [--rows R] [--cols C]\n"
                "           [--seed S] [--iters N] [--time-limit SEC] [--threads T]\n"
+               "           [--lp-engine tableau|revised]\n"
                "global telemetry flags: [--stats] [--trace FILE] [--log-json FILE]\n");
   return 2;
 }
@@ -210,6 +227,7 @@ int cmd_solve(const Args& a) {
     mopt.time_limit_s = a.num("time-limit", 60.0);
     mopt.num_threads = static_cast<int>(a.num("threads", 1));
     mopt.presolve = a.presolve_on();
+    if (!parse_lp_engine(a, &mopt.lp_engine)) return 2;
     if (warm.feasible) {
       warm_point = f.encode(warm.solution);
       mopt.warm_start = &warm_point;
@@ -416,6 +434,7 @@ int cmd_certify(const Args& a) {
     milp::MipOptions mopt;
     mopt.time_limit_s = a.num("time-limit", 60.0);
     mopt.num_threads = static_cast<int>(a.num("threads", 1));
+    if (!parse_lp_engine(a, &mopt.lp_engine)) return 2;
     if (warm.feasible) {
       warm_point = f.encode(warm.solution);
       mopt.warm_start = &warm_point;
@@ -500,6 +519,19 @@ int cmd_verify(const Args& a) {
 
 int cmd_crosscheck(const Args& a) {
   analysis::CrosscheckOptions opt;
+  // `--preset stress` mirrors bench::sweep_stress() (explicit flags below
+  // still override the preset's shape).
+  if (a.get("preset") == "stress") {
+    const bench::Scale st = bench::sweep_stress();
+    opt.num_tasks = st.num_tasks;
+    opt.rows = st.rows;
+    opt.cols = st.cols;
+    opt.mesh_variation = st.mesh_variation;
+  } else if (!a.get("preset").empty()) {
+    std::fprintf(stderr, "error: unknown --preset '%s' (expected stress)\n",
+                 a.get("preset").c_str());
+    return 2;
+  }
   opt.num_tasks = static_cast<int>(a.num("tasks", opt.num_tasks));
   opt.rows = static_cast<int>(a.num("rows", opt.rows));
   opt.cols = static_cast<int>(a.num("cols", opt.cols));
@@ -507,6 +539,7 @@ int cmd_crosscheck(const Args& a) {
   opt.num_threads = static_cast<int>(a.num("threads", opt.num_threads));
   opt.mesh_variation = a.num("mesh-variation", opt.mesh_variation);
   opt.presolve = a.presolve_on();
+  if (!parse_lp_engine(a, &opt.lp_engine)) return 2;
   opt.run_simulation = a.flags.count("no-sim") == 0;
   opt.verbose = a.flags.count("json") == 0;
   const auto first = static_cast<std::uint64_t>(a.num("first-seed", 1));
@@ -523,6 +556,13 @@ int cmd_crosscheck(const Args& a) {
 
 int cmd_sweep(const Args& a) {
   bench::SweepOptions opt;
+  if (a.get("preset") == "stress") {
+    opt.scale = bench::sweep_stress();
+  } else if (!a.get("preset").empty()) {
+    std::fprintf(stderr, "error: unknown --preset '%s' (expected stress)\n",
+                 a.get("preset").c_str());
+    return 2;
+  }
   opt.seeds = static_cast<int>(a.num("seeds", opt.seeds));
   opt.first_seed = static_cast<std::uint64_t>(a.num("first-seed", 1));
   opt.threads = static_cast<int>(a.num("threads", 0));
@@ -530,6 +570,7 @@ int cmd_sweep(const Args& a) {
   opt.scale.num_tasks = static_cast<int>(a.num("tasks", opt.scale.num_tasks));
   opt.scale.rows = static_cast<int>(a.num("rows", opt.scale.rows));
   opt.scale.cols = static_cast<int>(a.num("cols", opt.scale.cols));
+  if (!parse_lp_engine(a, &opt.lp_engine)) return 2;
   opt.verbose = a.flags.count("json") == 0;
   const auto res = bench::run_sweep(opt);
   const auto doc = res.to_json(opt);
@@ -652,6 +693,7 @@ int cmd_profile(const Args& a) {
   milp::MipOptions mopt;
   mopt.time_limit_s = a.num("time-limit", 20.0);
   mopt.num_threads = static_cast<int>(a.num("threads", 1));
+  if (!parse_lp_engine(a, &mopt.lp_engine)) return 2;
   const auto res = model::solve_optimal(*p, {}, mopt, heur.feasible ? &heur.solution : nullptr);
   std::printf("profile: MILP %s, bound %.6f, %lld nodes, %d LP iters in %.3f s\n",
               to_string(res.mip.status), res.mip.best_bound,
